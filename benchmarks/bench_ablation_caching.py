@@ -1,0 +1,86 @@
+"""Ablation: home-based request/response DSM vs write-invalidate caching.
+
+DESIGN.md calls out the DSM policy as a design choice; this bench
+quantifies it in both directions:
+
+* a read-mostly workload (every rank repeatedly reads a hot configuration
+  block) — caching wins because repeated access is message-free;
+* a write ping-pong (ranks alternately update one counter block) — the
+  home policy wins because ownership migration costs more messages than
+  plain write-through.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.util.tables import Table
+
+
+def _cfg(policy, p=6):
+    return ClusterConfig(
+        platform=get_platform("sunos"), n_processors=p, coherence=policy
+    )
+
+
+def read_mostly_worker(api):
+    gm = api.kernel.gmem
+    hot = gm.slice_words * (api.size - 1)  # homed on the last kernel
+    if api.rank == api.size - 1:
+        yield from api.gm_write(hot, np.arange(64, dtype=float))
+    yield from api.barrier("init")
+    t0 = api.now
+    total = 0.0
+    for _ in range(40):
+        data = yield from api.gm_read(hot, 64)
+        total += float(data[0])
+        yield from api.compute_seconds(0.0002)
+    yield from api.barrier("done")
+    return {"t0": t0, "t1": api.now, "total": total}
+
+
+def pingpong_worker(api):
+    yield from api.barrier("init")
+    t0 = api.now
+    for i in range(30):
+        if api.rank == i % api.size:
+            v = yield from api.gm_read_scalar(0)
+            yield from api.gm_write_scalar(0, v + 1)
+        yield from api.barrier(f"b{i}")
+    final = yield from api.gm_read_scalar(0)
+    return {"t0": t0, "t1": api.now, "final": final}
+
+
+def _elapsed(res):
+    return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+
+def test_caching_wins_read_mostly(benchmark):
+    def run():
+        home = run_parallel(_cfg("home"), read_mostly_worker)
+        cache = run_parallel(_cfg("cache"), read_mostly_worker)
+        return home, cache
+
+    home, cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(["policy", "elapsed_s", "remote_reads"], title="read-mostly hot block")
+    t.add("home", _elapsed(home), home.stats["gm.remote_reads"])
+    t.add("cache", _elapsed(cache), cache.stats["gm.remote_reads"])
+    print("\n" + t.render())
+    assert _elapsed(cache) < 0.5 * _elapsed(home)
+
+
+def test_home_wins_write_pingpong(benchmark):
+    def run():
+        home = run_parallel(_cfg("home", p=4), pingpong_worker)
+        cache = run_parallel(_cfg("cache", p=4), pingpong_worker)
+        return home, cache
+
+    home, cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert home.returns[0]["final"] == 30.0
+    assert cache.returns[0]["final"] == 30.0
+    t = Table(["policy", "elapsed_s"], title="write ping-pong counter")
+    t.add("home", _elapsed(home))
+    t.add("cache", _elapsed(cache))
+    print("\n" + t.render())
+    assert _elapsed(home) < _elapsed(cache)

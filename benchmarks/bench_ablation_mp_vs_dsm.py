@@ -1,0 +1,72 @@
+"""Ablation: DSE shared memory vs PVM/MPI-style message passing.
+
+The paper positions DSE against PVM/MPI; this bench runs the *same*
+block Gauss-Seidel numerics both ways on identical simulated hardware.
+Expected: message passing is somewhat faster per sweep (push-style
+allgather avoids the DSM's request/response round trips), while the DSM
+version needs no explicit communication code — the paper's programmability
+argument, with its measured cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel_worker
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.mp import gauss_seidel_mp_worker, run_mp
+from repro.util.tables import Table
+
+
+def _cfg(p=6):
+    return ClusterConfig(platform=get_platform("sunos"), n_processors=p)
+
+
+def test_mp_vs_dsm_gauss_seidel(benchmark):
+    n, sweeps = 500, 10
+
+    def run():
+        dse = run_parallel(_cfg(), gauss_seidel_worker, args=(n, sweeps))
+        mp = run_mp(_cfg(), gauss_seidel_mp_worker, args=(n, sweeps))
+        return dse, mp
+
+    dse, mp = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Identical numerics first: both models must produce the same solution.
+    assert np.allclose(dse.returns[0]["x"], mp.returns[0]["x"], atol=1e-12)
+
+    e_dse = max(r["t1"] - r["t0"] for r in dse.returns.values())
+    e_mp = max(r["t1"] - r["t0"] for r in mp.returns.values())
+    t = Table(
+        ["model", "elapsed_s", "messages"],
+        title=f"Gauss-Seidel N={n}, {sweeps} sweeps, 6 processors",
+    )
+    t.add("DSE shared memory", e_dse, dse.stats["msgs_sent"])
+    t.add("message passing", e_mp, mp.stats["msgs_sent"])
+    print("\n" + t.render())
+    # Both within 3x of each other: the DSM tax is real but bounded.
+    assert 1 / 3 < e_dse / e_mp < 3
+
+
+def test_mp_and_dsm_scale_similarly(benchmark):
+    n, sweeps = 700, 5
+
+    def run():
+        out = {}
+        for p in (1, 6):
+            kw = {"n_machines": 1} if p == 1 else {}
+            cfg = ClusterConfig(
+                platform=get_platform("sunos"), n_processors=p, **kw
+            )
+            dse = run_parallel(cfg, gauss_seidel_worker, args=(n, sweeps, 7, False))
+            mp = run_mp(cfg, gauss_seidel_mp_worker, args=(n, sweeps, 7, False))
+            out[p] = (
+                max(r["t1"] - r["t0"] for r in dse.returns.values()),
+                max(r["t1"] - r["t0"] for r in mp.returns.values()),
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    s_dse = out[1][0] / out[6][0]
+    s_mp = out[1][1] / out[6][1]
+    print(f"\nspeed-up at 6 processors: DSE {s_dse:.2f}x, MP {s_mp:.2f}x")
+    assert s_dse > 2 and s_mp > 2

@@ -1,0 +1,70 @@
+"""Ablation: the virtual cluster (kernels doubling up on 6 machines) vs
+12 real machines.
+
+The paper attributes the performance decrease beyond 6 processors to
+starting two DSE kernels per machine — "the machine load increases in
+proportion to this number".  Giving the same 12 kernels 12 real machines
+isolates that effect: the knee must disappear.
+"""
+
+import pytest
+
+from repro.apps import gauss_seidel_worker, othello_worker
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.util.tables import Table
+
+
+def _elapsed(res):
+    return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+
+def _run(worker, args, p, machines):
+    config = ClusterConfig(
+        platform=get_platform("sunos"), n_processors=p, n_machines=machines
+    )
+    return run_parallel(config, worker, args=args)
+
+
+def test_virtual_cluster_knee_gauss_seidel(benchmark):
+    def run():
+        return {
+            "p6": _run(gauss_seidel_worker, (900, 5, 7, False), 6, 6),
+            "p12_virtual": _run(gauss_seidel_worker, (900, 5, 7, False), 12, 6),
+            "p12_real": _run(gauss_seidel_worker, (900, 5, 7, False), 12, 12),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(["configuration", "elapsed_s", "max loadavg"], title="Gauss-Seidel N=900")
+    for name, res in out.items():
+        t.add(name, _elapsed(res), round(res.stats["max_load_average"], 2))
+    print("\n" + t.render())
+    # Doubling kernels on 6 machines is slower than 6 kernels...
+    assert _elapsed(out["p12_virtual"]) > _elapsed(out["p6"])
+    # ...but the same 12 kernels on 12 real machines beat the virtual setup.
+    assert _elapsed(out["p12_real"]) < _elapsed(out["p12_virtual"])
+
+
+def test_virtual_cluster_load_average_doubles(benchmark):
+    """With a compute-bound static partition, a doubled-up machine runs at
+    roughly twice the load average of a one-kernel-per-machine setup."""
+
+    def compute_worker(api):
+        yield from api.barrier("go")
+        t0 = api.now
+        yield from api.compute_seconds(0.5)
+        yield from api.barrier("end")
+        return {"t0": t0, "t1": api.now}
+
+    def run():
+        return (
+            _run(compute_worker, (), 6, 6),
+            _run(compute_worker, (), 12, 6),
+        )
+
+    six, twelve = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nmax load average: 6 kernels {six.stats['max_load_average']:.2f}, "
+        f"12-on-6 {twelve.stats['max_load_average']:.2f}"
+    )
+    assert twelve.stats["max_load_average"] > 1.5 * six.stats["max_load_average"]

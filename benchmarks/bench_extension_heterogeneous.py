@@ -1,0 +1,80 @@
+"""Extension bench: heterogeneous clusters (the paper's portability goal
+taken literally — mixed UNIX boxes in one DSE system).
+
+Runs the same Othello search on a homogeneous SparcStation cluster, a
+homogeneous Pentium-II cluster, and a 50/50 mix.  The mixed cluster must
+land between the extremes, and a barrier-coupled workload must be paced by
+its slowest members.
+"""
+
+import pytest
+
+from repro.apps import othello_worker
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import LINUX_PCAT, SUNOS_SPARCSTATION
+from repro.util.tables import Table
+
+
+def _elapsed(res):
+    return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+
+def test_mixed_cluster_between_extremes(benchmark):
+    depth, p = 7, 6
+
+    def run():
+        out = {}
+        out["sparc"] = run_parallel(
+            ClusterConfig(platform=SUNOS_SPARCSTATION, n_processors=p),
+            othello_worker, args=(depth,),
+        )
+        out["pii"] = run_parallel(
+            ClusterConfig(platform=LINUX_PCAT, n_processors=p),
+            othello_worker, args=(depth,),
+        )
+        out["mixed"] = run_parallel(
+            ClusterConfig(
+                platform=SUNOS_SPARCSTATION,
+                n_processors=p,
+                platforms=(SUNOS_SPARCSTATION, LINUX_PCAT),
+            ),
+            othello_worker, args=(depth,),
+        )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table(["cluster", "elapsed_s"], title=f"Othello depth {depth}, {p} processors")
+    for name, res in out.items():
+        assert res.returns[0]["value"] == res.returns[0]["expected_value"]
+        t.add(name, _elapsed(res))
+    print("\n" + t.render())
+    assert _elapsed(out["pii"]) < _elapsed(out["mixed"]) < _elapsed(out["sparc"])
+
+
+def test_dynamic_pool_absorbs_heterogeneity(benchmark):
+    """With the dynamic job queue, fast nodes simply take more jobs: the
+    mixed cluster lands much closer to the fast one than a static split
+    would allow (work-stealing-style load balance across speeds)."""
+    depth, p = 8, 4
+
+    def run():
+        pii = run_parallel(
+            ClusterConfig(platform=LINUX_PCAT, n_processors=p),
+            othello_worker, args=(depth,),
+        )
+        mixed = run_parallel(
+            ClusterConfig(
+                platform=LINUX_PCAT,
+                n_processors=p,
+                platforms=(LINUX_PCAT, LINUX_PCAT, LINUX_PCAT, SUNOS_SPARCSTATION),
+            ),
+            othello_worker, args=(depth,),
+        )
+        return pii, mixed
+
+    pii, mixed = benchmark.pedantic(run, rounds=1, iterations=1)
+    e_pii, e_mixed = _elapsed(pii), _elapsed(mixed)
+    print(f"\nall-PII {e_pii:.3f}s vs 3xPII+1xSparc {e_mixed:.3f}s")
+    # One slow node out of four: far less than the 4x a lock-step split
+    # would cost (the slow node is ~4x slower on this workload).
+    assert e_mixed < 2.0 * e_pii

@@ -1,0 +1,61 @@
+"""Extension bench: static vs dynamic job scheduling across workload skew.
+
+Generalises the Knight's-Tour granularity study: the same job pool run
+under the static cyclic deal (Knight's Tour style) and under the shared
+pulling queue (Othello style), across job-size distributions.  Uniform
+tiny jobs favour static (no queue round trips); skewed distributions that
+stack long jobs on one rank favour dynamic.
+"""
+
+import pytest
+
+from repro.apps import (
+    DISTRIBUTIONS,
+    dynamic_schedule_worker,
+    job_sizes,
+    static_schedule_worker,
+)
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.util.tables import Table
+
+
+def _elapsed(worker, sizes, p=6):
+    res = run_parallel(
+        ClusterConfig(platform=get_platform("sunos"), n_processors=p),
+        worker,
+        args=(sizes,),
+    )
+    assert res.returns[0]["all_done"]
+    return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+
+def test_scheduling_policy_tradeoff(benchmark):
+    cases = [
+        ("uniform tiny", job_sizes(60, "uniform", mean_seconds=0.0005, seed=9)),
+        ("uniform", job_sizes(48, "uniform", mean_seconds=0.02, seed=9)),
+        ("bimodal skewed", job_sizes(48, "bimodal", mean_seconds=0.05, seed=7)),
+        ("heavy tail", job_sizes(48, "heavy_tail", mean_seconds=0.05, seed=42)),
+    ]
+
+    def run():
+        return [
+            (name, _elapsed(static_schedule_worker, sizes),
+             _elapsed(dynamic_schedule_worker, sizes))
+            for name, sizes in cases
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["workload", "static_s", "dynamic_s", "winner"],
+        title="scheduling policy vs workload skew (6 processors, SunOS)",
+    )
+    outcome = {}
+    for name, s, d in rows:
+        table.add(name, round(s, 4), round(d, 4), "dynamic" if d < s else "static")
+        outcome[name] = (s, d)
+    print("\n" + table.render())
+    s, d = outcome["uniform tiny"]
+    assert s < d  # queue overhead loses on uniform tiny jobs
+    s, d = outcome["bimodal skewed"]
+    assert d < s  # pulling wins once static stacking bites

@@ -1,0 +1,33 @@
+"""Figures 4-9: Gauss-Seidel execution time and speed-up on the three
+platforms (paper §4.1).
+
+Expected shapes (checked automatically): small N collapses under
+parallelisation; the largest N improves through 5-6 processors and
+degrades beyond 6 (two kernels per machine — the virtual cluster).
+"""
+
+import pytest
+
+from conftest import run_figure
+
+# (time figure, speedup figure) per platform, in the paper's order
+CASES = [
+    ("sunos", "fig4", "fig5"),
+    ("aix", "fig6", "fig7"),
+    ("linux", "fig8", "fig9"),
+]
+
+
+@pytest.mark.parametrize("platform,time_id,_speed_id", CASES)
+def test_execution_time_figures(benchmark, fast_mode, platform, time_id, _speed_id):
+    fig = run_figure(benchmark, time_id, fast_mode, check=False)
+    # Execution-time sanity: larger systems take longer at every p.
+    names = sorted(fig.series, key=lambda s: int(s.split("=")[1]))
+    for i, p in enumerate(fig.x_values):
+        times = [fig.series[name][i] for name in names]
+        assert times == sorted(times), f"time not monotone in N at p={p}"
+
+
+@pytest.mark.parametrize("platform,_time_id,speed_id", CASES)
+def test_speedup_figures(benchmark, fast_mode, platform, _time_id, speed_id):
+    run_figure(benchmark, speed_id, fast_mode, check=True)

@@ -1,0 +1,31 @@
+"""Figures 10-15: DCT-II execution time and speed-up on the three
+platforms (paper §4.2).
+
+Expected shapes (checked automatically): the 2x2 block size shows no
+useful speed-up (fine granularity: each message round-trip buys almost no
+computation); 4x4 and 8x8 improve with processors, 8x8 best.
+"""
+
+import pytest
+
+from conftest import run_figure
+
+CASES = [
+    ("sunos", "fig10", "fig11"),
+    ("aix", "fig12", "fig13"),
+    ("linux", "fig14", "fig15"),
+]
+
+
+@pytest.mark.parametrize("platform,time_id,_speed_id", CASES)
+def test_execution_time_figures(benchmark, fast_mode, platform, time_id, _speed_id):
+    fig = run_figure(benchmark, time_id, fast_mode, check=False)
+    # Sequential time grows with block size (O(B^4) per block dominates
+    # the O(B^2) traffic saving).
+    t1 = {name: series[0] for name, series in fig.series.items()}
+    assert t1["2x2"] < t1["4x4"] < t1["8x8"]
+
+
+@pytest.mark.parametrize("platform,_time_id,speed_id", CASES)
+def test_speedup_figures(benchmark, fast_mode, platform, _time_id, speed_id):
+    run_figure(benchmark, speed_id, fast_mode, check=True)

@@ -1,0 +1,21 @@
+"""Figures 16-18: Othello game speed-up on the three platforms (paper §4.3).
+
+Expected shapes (checked automatically): shallow search depths show no
+improvement as processors are added (communication frequency dominates the
+tiny jobs); higher depths show clear parallel speed-up.
+"""
+
+import pytest
+
+from conftest import run_figure
+
+CASES = [("sunos", "fig16"), ("aix", "fig17"), ("linux", "fig18")]
+
+
+@pytest.mark.parametrize("platform,fig_id", CASES)
+def test_othello_speedup_figures(benchmark, fast_mode, platform, fig_id):
+    fig = run_figure(benchmark, fig_id, fast_mode, check=True)
+    # Deeper searches always speed up at least as well as shallower ones
+    # at the 6-processor knee.
+    at6 = [series[fig.x_values.index(6)] for _, series in sorted(fig.series.items())]
+    assert at6[-1] > at6[0]

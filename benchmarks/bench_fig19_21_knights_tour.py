@@ -1,0 +1,23 @@
+"""Figures 19-21: Knight's Tour execution time on the three platforms
+(paper §4.4).
+
+Expected shapes (checked automatically): a middling job count is most
+efficient; the largest job count is least efficient (communication
+frequency + shared-bus collisions); the midrange counts improve to ~5-6
+processors and then decline (virtual-cluster doubling).
+"""
+
+import pytest
+
+from conftest import run_figure
+
+CASES = [("sunos", "fig19"), ("aix", "fig20"), ("linux", "fig21")]
+
+
+@pytest.mark.parametrize("platform,fig_id", CASES)
+def test_knights_tour_time_figures(benchmark, fast_mode, platform, fig_id):
+    fig = run_figure(benchmark, fig_id, fast_mode, check=True)
+    # All job counts search the same tree: sequential times are equal
+    # (within the queue-setup epsilon).
+    t1 = [series[0] for series in fig.series.values()]
+    assert max(t1) / min(t1) < 1.2

@@ -1,0 +1,81 @@
+"""Communication-frequency accounting: messages vs processors per workload.
+
+The paper explains every failure to scale through "communication
+frequency"; this bench makes that quantitative — for each application, the
+wire-message count per processor count, next to the achieved speed-up.
+High message growth with flat speed-up is the signature of a
+granularity-limited workload.
+"""
+
+import pytest
+
+from repro.apps import (
+    dct2_worker,
+    gauss_seidel_worker,
+    knights_tour_worker,
+    othello_worker,
+)
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.util.tables import Table
+
+PROCS = (1, 2, 6, 12)
+
+WORKLOADS = [
+    ("gauss-seidel N=300", gauss_seidel_worker, (300, 5, 7, False)),
+    ("dct 2x2", dct2_worker, (64, 2, 0.25, 11, False)),
+    ("dct 8x8", dct2_worker, (64, 8, 0.25, 11, False)),
+    ("othello d=6", othello_worker, (6,)),
+    ("knight 512 jobs", knights_tour_worker, (512,)),
+]
+
+
+def test_message_counts_scale_with_workload(benchmark):
+    def run():
+        rows = []
+        for name, worker, args in WORKLOADS:
+            msgs, times = [], []
+            for p in PROCS:
+                kw = {"n_machines": 1} if p == 1 else {}
+                res = run_parallel(
+                    ClusterConfig(
+                        platform=get_platform("sunos"), n_processors=p, **kw
+                    ),
+                    worker,
+                    args=args,
+                )
+                msgs.append(res.stats["msgs_sent"])
+                times.append(max(r["t1"] - r["t0"] for r in res.returns.values()))
+            rows.append((name, msgs, times))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["workload"]
+        + [f"msgs(p={p})" for p in PROCS]
+        + [f"speedup(p={p})" for p in PROCS[1:]],
+        title="communication frequency vs scaling",
+    )
+    for name, msgs, times in rows:
+        table.add(
+            name,
+            *[int(m) for m in msgs],
+            *[round(times[0] / t, 2) for t in times[1:]],
+        )
+    print("\n" + table.render())
+
+    by_name = {name: (msgs, times) for name, msgs, times in rows}
+    # One processor sends nothing (everything is an own-node library call).
+    for name, (msgs, _times) in by_name.items():
+        assert msgs[0] == 0, name
+        assert msgs[-1] > 0, name
+    # The knight's-tour 512-job run is the chattiest workload at 12 procs.
+    kt_msgs = by_name["knight 512 jobs"][0][-1]
+    assert all(
+        kt_msgs >= by_name[name][0][-1]
+        for name in by_name
+        if name != "knight 512 jobs"
+    )
+    # And fine-grain DCT sends more messages than coarse (4x the jobs;
+    # a fixed ~90-message spawn/barrier baseline dilutes the ratio).
+    assert by_name["dct 2x2"][0][-1] > 1.5 * by_name["dct 8x8"][0][-1]

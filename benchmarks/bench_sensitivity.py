@@ -1,0 +1,59 @@
+"""Sensitivity bench: the reproduction's conclusions vs calibration error.
+
+Re-runs the Gauss-Seidel N=700 sweep with the protocol-processing costs
+scaled 0.25x-4x and the bus at 5/10/100 Mbit/s, reporting where the
+speed-up peak lands each time.  The paper's qualitative conclusion — a
+peak at or below 6 processors on the era's LAN — must survive the whole
+range; only a 10x-class fabric change moves it.
+"""
+
+import pytest
+
+from repro.experiments import bandwidth_sensitivity, protocol_sensitivity
+from repro.hardware import SUNOS_SPARCSTATION
+from repro.util.tables import Table
+
+KW = dict(n=700, sweeps=5, procs=(1, 2, 4, 6, 8, 12))
+
+
+def test_protocol_cost_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: protocol_sensitivity(SUNOS_SPARCSTATION, scales=(0.25, 0.5, 1.0, 2.0, 4.0), **KW),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        ["protocol scale", "peak procs", "peak speed-up"],
+        title="Gauss-Seidel N=700 vs protocol-cost calibration",
+    )
+    for scale, peak_p, peak_s in rows:
+        table.add(f"{scale}x", peak_p, round(peak_s, 2))
+    print("\n" + table.render())
+    # The knee conclusion survives 16x of calibration range.
+    assert all(peak_p <= 6 for _s, peak_p, _v in rows)
+    # More expensive messages always hurt; below 1x the unchanged wire
+    # takes over and the curve flattens (so no strict monotonicity there).
+    speeds = {s: v for s, _p, v in rows}
+    assert speeds[1.0] > speeds[2.0] > speeds[4.0]
+    assert speeds[0.25] > speeds[4.0]
+
+
+def test_bandwidth_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: bandwidth_sensitivity(SUNOS_SPARCSTATION, rates=(5e6, 10e6, 100e6), **KW),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(
+        ["bus rate", "peak procs", "peak speed-up"],
+        title="Gauss-Seidel N=700 vs fabric bandwidth",
+    )
+    for rate, peak_p, peak_s in rows:
+        table.add(f"{rate/1e6:.0f} Mbit/s", peak_p, round(peak_s, 2))
+    print("\n" + table.render())
+    speeds = [v for _r, _p, v in rows]
+    assert speeds == sorted(speeds)
+    # Era LAN keeps the knee at <= 6; the 100 Mbit/s fabric lifts speed-up
+    # (the remaining ceiling is protocol processing, not the wire).
+    assert rows[1][1] <= 6
+    assert rows[2][2] > rows[1][2] * 1.1

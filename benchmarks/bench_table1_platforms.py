@@ -1,0 +1,23 @@
+"""Table 1: the experiment environments (three UNIX platforms)."""
+
+from conftest import run_figure
+
+from repro.hardware import get_platform, platform_names
+
+
+def test_table1(benchmark, fast_mode):
+    fig = run_figure(benchmark, "table1", fast_mode, check=False)
+    assert len(fig.x_values) == 3
+
+
+def test_table1_platform_cost_ordering(benchmark):
+    """Sanity: per-message latency orders SunOS > AIX > Linux."""
+
+    def costs():
+        return [
+            get_platform(name).os_costs.protocol_per_message
+            for name in platform_names()
+        ]
+
+    sunos, aix, linux = benchmark(costs)
+    assert sunos > aix > linux

@@ -1,0 +1,38 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures.  They run on the
+*fast* parameter grid by default (a few minutes total); set
+``REPRO_FULL_FIGURES=1`` to use the paper's full grid.
+
+Every benchmark prints the regenerated rows/series (run with ``-s`` to see
+them) and asserts the paper-shape checks, so a passing benchmark suite
+means the reproduction's qualitative results hold.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_FULL_FIGURES", "") != "1"
+
+
+def run_figure(benchmark, fig_id: str, fast: bool, check: bool = True):
+    """Generate one figure under pytest-benchmark and validate its shape."""
+    from repro.experiments import FIGURES, check_figure
+
+    fig = benchmark.pedantic(
+        lambda: FIGURES[fig_id](fast=fast), rounds=1, iterations=1
+    )
+    print()
+    print(fig.to_text())
+    if check:
+        failures = []
+        for description, ok in check_figure(fig):
+            print(f"  [{'PASS' if ok else 'FAIL'}] {description}")
+            if not ok:
+                failures.append(description)
+        assert not failures, f"{fig_id} shape checks failed: {failures}"
+    return fig

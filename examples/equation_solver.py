@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Solving simultaneous linear equations on the cluster (paper §4.1).
+
+Builds a diagonally dominant N-dimensional system, solves it with the
+DSE-parallel block Gauss-Seidel at several processor counts, and reports
+execution time, speed-up, and solution quality — the experiment behind
+the paper's Figures 4-9, as a user-facing script.
+
+Run:  python examples/equation_solver.py [N]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import gauss_seidel_worker, make_system
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.util import Table, fmt_time
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 500
+    sweeps = 10
+    platform = get_platform("sunos")
+    print(f"Solving a {n}-dimensional system on {platform.name}, {sweeps} sweeps\n")
+
+    a, b = make_system(n)
+    truth = np.linalg.solve(a, b)
+
+    table = Table(["processors", "exec time", "speed-up", "max error"])
+    base = None
+    for p in (1, 2, 4, 6, 8):
+        config = ClusterConfig(
+            platform=platform, n_processors=p, n_machines=min(p, 6)
+        )
+        result = run_parallel(config, gauss_seidel_worker, args=(n, sweeps))
+        elapsed = max(r["t1"] - r["t0"] for r in result.returns.values())
+        base = base or elapsed
+        err = float(np.max(np.abs(result.returns[0]["x"] - truth)))
+        table.add(p, fmt_time(elapsed), f"{base / elapsed:.2f}x", f"{err:.2e}")
+    print(table.render())
+    print(
+        "\nNote the paper's two regimes: speed-up grows while computation"
+        "\ndominates, then collapses once kernels double up on machines."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Parallel DCT-II image compression (paper §4.2).
+
+Compresses a synthetic image on the simulated cluster, comparing block
+sizes — the granularity trade-off behind the paper's Figures 10-15 —
+and reports the reconstruction quality (PSNR) of the 25%-kept transform.
+
+Run:  python examples/image_compression.py
+"""
+
+import numpy as np
+
+from repro.apps import dct2_worker, idct2_block, make_image
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.util import Table, fmt_time
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    mse = float(np.mean((original - reconstructed) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10 * np.log10(255.0**2 / mse)
+
+
+def reconstruct(coeffs: np.ndarray, block: int) -> np.ndarray:
+    out = np.empty_like(coeffs)
+    size = coeffs.shape[0]
+    for by in range(0, size, block):
+        for bx in range(0, size, block):
+            out[by : by + block, bx : bx + block] = idct2_block(
+                coeffs[by : by + block, bx : bx + block]
+            )
+    return out
+
+
+def main():
+    size, keep, procs = 64, 0.25, 6
+    platform = get_platform("sunos")
+    image = make_image(size)
+    print(
+        f"Compressing a {size}x{size} image (keep {keep:.0%}) on "
+        f"{procs} processors, {platform.name}\n"
+    )
+
+    table = Table(["block", "seq time", "par time", "speed-up", "PSNR (dB)"])
+    for block in (2, 4, 8):
+        seq = run_parallel(
+            ClusterConfig(platform=platform, n_processors=1, n_machines=1),
+            dct2_worker,
+            args=(size, block, keep),
+        )
+        par = run_parallel(
+            ClusterConfig(platform=platform, n_processors=procs),
+            dct2_worker,
+            args=(size, block, keep),
+        )
+        e_seq = max(r["t1"] - r["t0"] for r in seq.returns.values())
+        e_par = max(r["t1"] - r["t0"] for r in par.returns.values())
+        quality = psnr(image, reconstruct(par.returns[0]["coeffs"], block))
+        table.add(
+            f"{block}x{block}",
+            fmt_time(e_seq),
+            fmt_time(e_par),
+            f"{e_seq / e_par:.2f}x",
+            f"{quality:.1f}",
+        )
+    print(table.render())
+    print(
+        "\n2x2 blocks carry almost no computation per message: communication"
+        "\nfrequency eats the parallelism (the paper's granularity effect)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's headline claim: the same parallel program, unchanged, on
+three UNIX platforms — with the same qualitative behaviour.
+
+Runs the Othello depth-6 search on SunOS/SparcStation, AIX/RS-6000 and
+Linux/Pentium-II clusters and prints the execution-time and speed-up rows
+side by side.  Absolute times differ (the machines differ); the *shape*
+— speed-up rising with processors, then flattening past 6 — repeats on
+every platform, which is the portability result.
+
+Run:  python examples/portability_study.py
+"""
+
+from repro.apps import othello_worker
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform, platform_names
+from repro.util import Table, fmt_time
+
+PROCS = (1, 2, 4, 6)
+DEPTH = 6
+
+
+def measure(platform_key):
+    platform = get_platform(platform_key)
+    times = []
+    for p in PROCS:
+        config = ClusterConfig(
+            platform=platform, n_processors=p, n_machines=min(p, 6)
+        )
+        res = run_parallel(config, othello_worker, args=(DEPTH,))
+        assert res.returns[0]["value"] == res.returns[0]["expected_value"]
+        times.append(max(r["t1"] - r["t0"] for r in res.returns.values()))
+    return platform.name, times
+
+
+def main():
+    print(f"Othello depth-{DEPTH} search, identical program on three platforms\n")
+    table = Table(
+        ["platform"] + [f"T({p})" for p in PROCS] + [f"S({p})" for p in PROCS[1:]]
+    )
+    for key in platform_names():
+        name, times = measure(key)
+        row = [name] + [fmt_time(t) for t in times]
+        row += [f"{times[0] / t:.2f}x" for t in times[1:]]
+        table.add(*row)
+    print(table.render())
+    print(
+        "\nSame program text, same results, same speed-up pattern — the"
+        "\nportability and architecture-independence the DSE re-organisation"
+        "\nwas built for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of the DSE portable cluster computing environment
+with Single System Image support (Asazu, Apduhan, Arita; ICPP 1999).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` — discrete-event simulation engine.
+* :mod:`repro.hardware` — CPU/OS cost models for the paper's three platforms.
+* :mod:`repro.network` — CSMA/CD shared-bus Ethernet (and a switched ablation).
+* :mod:`repro.protocol` — datagram/reliable transports with protocol-processing costs.
+* :mod:`repro.osmodel` — UNIX machines: scheduler, syscalls, signals, sockets.
+* :mod:`repro.dse` — the paper's contribution: the DSE kernel as a parallel
+  processing library (process management, global memory / DSM, message
+  exchange) plus the Parallel API library.
+* :mod:`repro.ssi` — single-system-image services on top of DSE.
+* :mod:`repro.mp` — PVM/MPI-style message-passing baseline.
+* :mod:`repro.apps` — the four paper applications.
+* :mod:`repro.experiments` — the harness that regenerates every figure.
+
+Quickstart::
+
+    from repro.dse import ClusterConfig, run_parallel
+    from repro.hardware import get_platform
+
+    def worker(api):
+        rank = api.rank
+        yield from api.gm_write(0, 8 * rank, [float(rank)])
+        yield from api.barrier("done")
+        return rank
+
+    config = ClusterConfig(platform=get_platform("linux"), n_processors=4)
+    result = run_parallel(config, worker)
+    print(result.elapsed, result.returns)
+"""
+
+from .errors import (
+    ApplicationError,
+    ConfigurationError,
+    DSEError,
+    GlobalMemoryError,
+    NetworkError,
+    OSModelError,
+    ProcessManagementError,
+    ProtocolError,
+    ReproError,
+    SSIError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ApplicationError",
+    "ConfigurationError",
+    "DSEError",
+    "GlobalMemoryError",
+    "NetworkError",
+    "OSModelError",
+    "ProcessManagementError",
+    "ProtocolError",
+    "ReproError",
+    "SSIError",
+]

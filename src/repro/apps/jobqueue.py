@@ -1,0 +1,75 @@
+"""Shared dynamic job queue over DSE global memory.
+
+Both search applications (Othello, Knight's Tour) distribute work the same
+way the paper describes: a pool of independent jobs that processors pull
+from a shared structure.  The queue is a counter word in global memory
+guarded by a distributed lock; each pull is therefore several DSE messages
+— which is precisely the communication frequency that limits speed-up when
+jobs are small or numerous.
+
+Global-memory layout (relative to a base address)::
+
+    base + 0              next-job counter
+    base + 1 .. 1+njobs   one result word per job
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Sequence
+
+import numpy as np
+
+from ..dse.api import ParallelAPI
+from ..hardware.cpu import Work
+from ..sim.core import Event
+
+__all__ = ["job_queue_layout_words", "init_job_queue", "work_job_queue", "collect_results"]
+
+_LOCK = "dse.jobqueue"
+
+
+def job_queue_layout_words(njobs: int) -> int:
+    """Words of global memory the queue occupies."""
+    return 1 + njobs
+
+
+def init_job_queue(api: ParallelAPI, base: int, njobs: int) -> Generator[Event, Any, None]:
+    """Reset the counter and results (call from one rank before a barrier)."""
+    yield from api.gm_write(base, np.zeros(1 + njobs))
+
+
+def work_job_queue(
+    api: ParallelAPI,
+    base: int,
+    jobs_work: Sequence[Work],
+    job_result: Callable[[int], float],
+) -> Generator[Event, Any, List[int]]:
+    """Pull and execute jobs until the pool is empty.
+
+    ``jobs_work[j]`` is the compute charged for job ``j``;
+    ``job_result(j)`` supplies the (real, precomputed) numeric result that
+    gets written to the job's result slot.  Returns the indices this rank
+    processed.
+    """
+    njobs = len(jobs_work)
+    mine: List[int] = []
+    while True:
+        # Atomically take the next job index.
+        yield from api.lock(_LOCK)
+        idx = int((yield from api.gm_read_scalar(base)))
+        if idx < njobs:
+            yield from api.gm_write_scalar(base, float(idx + 1))
+        yield from api.unlock(_LOCK)
+        if idx >= njobs:
+            break
+        yield from api.compute(jobs_work[idx])
+        yield from api.gm_write_scalar(base + 1 + idx, job_result(idx))
+        mine.append(idx)
+    return mine
+
+
+def collect_results(
+    api: ParallelAPI, base: int, njobs: int
+) -> Generator[Event, Any, np.ndarray]:
+    """Read every job's result word (master side, after a barrier)."""
+    return (yield from api.gm_read(base + 1, njobs))

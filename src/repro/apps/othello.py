@@ -1,0 +1,349 @@
+"""Parallel Othello game-tree search (paper §4.3).
+
+"The Othello game is a typical search problem application common in
+artificial intelligence research."  We implement the real game (8×8 board,
+full flipping rules) and a minimax search with alpha-beta pruning, then
+parallelise it the way the paper's speed-up curves imply:
+
+* the first **two** plies of the tree are expanded into independent *jobs*
+  (one per ``(move, counter-move)`` pair, plus degenerate cases);
+* each job is searched to the remaining depth with a **full window**, so a
+  job's cost and value are independent of which processor runs it and in
+  which order (deterministic, schedule-independent — and exactly what a
+  simple 1999 work-pool implementation did, at the price of losing
+  cross-job pruning);
+* processors pull jobs from a shared queue in global memory; the master
+  recombines values minimax-style.
+
+At shallow depths jobs are tiny and queue traffic dominates (no speed-up —
+paper Figures 16–18, depths ≤ 4); at deeper depths each job carries real
+search work and the pool scales.
+
+The per-node simulation cost is charged from the *measured* node count of
+the real search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..dse.api import ParallelAPI
+from ..errors import ApplicationError
+from ..hardware.cpu import Work
+from ..sim.core import Event
+from .jobqueue import collect_results, init_job_queue, job_queue_layout_words, work_job_queue
+
+__all__ = [
+    "initial_board",
+    "midgame_board",
+    "legal_moves",
+    "apply_move",
+    "evaluate",
+    "alphabeta",
+    "best_move_seq",
+    "OthelloWorkload",
+    "othello_workload",
+    "othello_worker",
+    "NODE_WORK",
+    "BLACK",
+    "WHITE",
+    "EMPTY",
+]
+
+BLACK, WHITE, EMPTY = 1, -1, 0
+INF = 10**9
+
+#: charged cost of visiting one search node: legal-move generation over 8
+#: rays per candidate square, flip application, and the static evaluation
+#: (material + mobility + corners — mobility alone regenerates both sides'
+#: move lists).  The board is cache-resident, so the cost is pure integer
+#: work; ~10-45 us/node on the Table-1 CPUs, the throughput of a
+#: straightforward 1999 C implementation.
+NODE_WORK = Work(iops=2600.0)
+
+_CORNERS = (0, 7, 56, 63)
+
+
+def _build_rays() -> List[List[Tuple[int, ...]]]:
+    """For each square, the list of ray square-index tuples (8 directions)."""
+    rays: List[List[Tuple[int, ...]]] = []
+    for sq in range(64):
+        r, c = divmod(sq, 8)
+        sq_rays = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                if dr == 0 and dc == 0:
+                    continue
+                ray = []
+                rr, cc = r + dr, c + dc
+                while 0 <= rr < 8 and 0 <= cc < 8:
+                    ray.append(rr * 8 + cc)
+                    rr += dr
+                    cc += dc
+                if len(ray) >= 2:  # need at least opponent+own to flip
+                    sq_rays.append(tuple(ray))
+        rays.append(sq_rays)
+    return rays
+
+
+_RAYS = _build_rays()
+
+
+def initial_board() -> Tuple[int, ...]:
+    """The standard Othello starting position."""
+    board = [EMPTY] * 64
+    board[27], board[36] = WHITE, WHITE
+    board[28], board[35] = BLACK, BLACK
+    return tuple(board)
+
+
+def midgame_board() -> Tuple[int, ...]:
+    """A fixed, reproducible midgame position (deterministic self-play).
+
+    Experiments search from here so every depth has a bushy tree.
+    """
+    board = initial_board()
+    player = BLACK
+    # 8 plies of greedy self-play (most flips first, lowest index tiebreak).
+    for _ in range(8):
+        moves = legal_moves(board, player)
+        if not moves:
+            player = -player
+            continue
+        best = max(moves, key=lambda m: (len(_flips(board, m, player)), -m))
+        board = apply_move(board, best, player)
+        player = -player
+    return board
+
+
+def _flips(board: Tuple[int, ...], square: int, player: int) -> List[int]:
+    """Discs flipped by ``player`` moving at ``square`` (empty = illegal)."""
+    if board[square] != EMPTY:
+        return []
+    opponent = -player
+    flips: List[int] = []
+    for ray in _RAYS[square]:
+        if board[ray[0]] != opponent:
+            continue
+        run = [ray[0]]
+        for pos in ray[1:]:
+            v = board[pos]
+            if v == opponent:
+                run.append(pos)
+            elif v == player:
+                flips.extend(run)
+                break
+            else:
+                break
+    return flips
+
+
+def legal_moves(board: Tuple[int, ...], player: int) -> List[int]:
+    """All legal squares for ``player`` (ascending order: deterministic)."""
+    return [sq for sq in range(64) if board[sq] == EMPTY and _flips(board, sq, player)]
+
+
+def apply_move(board: Tuple[int, ...], square: int, player: int) -> Tuple[int, ...]:
+    flips = _flips(board, square, player)
+    if not flips:
+        raise ApplicationError(f"illegal move {square} for player {player}")
+    new = list(board)
+    new[square] = player
+    for f in flips:
+        new[f] = player
+    return tuple(new)
+
+
+def evaluate(board: Tuple[int, ...], player: int) -> int:
+    """Static evaluation from ``player``'s perspective: material +
+    mobility + corner control (a standard lightweight 1999-era heuristic)."""
+    material = sum(board) * player
+    mobility = len(legal_moves(board, player)) - len(legal_moves(board, -player))
+    corners = sum(player * board[c] for c in _CORNERS)
+    return material + 4 * mobility + 25 * corners
+
+
+class _Counter:
+    __slots__ = ("nodes",)
+
+    def __init__(self) -> None:
+        self.nodes = 0
+
+
+def _alphabeta(
+    board: Tuple[int, ...],
+    player: int,
+    depth: int,
+    alpha: int,
+    beta: int,
+    counter: _Counter,
+    passed: bool = False,
+) -> int:
+    counter.nodes += 1
+    if depth == 0:
+        return evaluate(board, player)
+    moves = legal_moves(board, player)
+    if not moves:
+        if passed:  # game over: exact disc difference dominates
+            return 1000 * sum(board) * player
+        return -_alphabeta(board, -player, depth - 1, -beta, -alpha, counter, True)
+    value = -INF
+    for move in moves:
+        child = apply_move(board, move, player)
+        score = -_alphabeta(child, -player, depth - 1, -beta, -alpha, counter)
+        if score > value:
+            value = score
+        if value > alpha:
+            alpha = value
+        if alpha >= beta:
+            break
+    return value
+
+
+def alphabeta(
+    board: Tuple[int, ...], player: int, depth: int
+) -> Tuple[int, int]:
+    """Full-window alpha-beta search; returns (value, nodes visited)."""
+    if depth < 0:
+        raise ApplicationError(f"depth must be >= 0, got {depth}")
+    counter = _Counter()
+    value = _alphabeta(board, player, depth, -INF, INF, counter)
+    return value, counter.nodes
+
+
+def best_move_seq(
+    board: Tuple[int, ...], player: int, depth: int
+) -> Tuple[Optional[int], int, int]:
+    """Sequential root search with per-move full windows (the policy the
+    parallel version also uses, so values match exactly).
+
+    Returns (best move, value, total nodes).
+    """
+    moves = legal_moves(board, player)
+    if not moves:
+        return None, evaluate(board, player), 1
+    best_move, best_value, total_nodes = None, -INF, 0
+    for move in moves:
+        child = apply_move(board, move, player)
+        value, nodes = alphabeta(child, -player, depth - 1)
+        value = -value
+        total_nodes += nodes + 1
+        if value > best_value:
+            best_value, best_move = value, move
+    return best_move, best_value, total_nodes
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One unit of parallel work: a 2-ply prefix of the root tree."""
+
+    move1: int
+    move2: int  # -1 when the job covers move1's whole subtree (depth<2 / pass)
+    value: int  # negamax value *for the player to move at the root*
+    nodes: int
+
+
+@dataclass(frozen=True)
+class OthelloWorkload:
+    """Everything the parallel run needs, computed once from the real game."""
+
+    depth: int
+    player: int
+    jobs: Tuple[_Job, ...]
+    root_moves: Tuple[int, ...]
+    best_value: int
+    best_move: Optional[int]
+    total_nodes: int
+
+
+@lru_cache(maxsize=None)
+def othello_workload(depth: int, use_midgame: bool = True) -> OthelloWorkload:
+    """Build the job list for ``depth`` (cached: the real search runs once)."""
+    if depth < 1:
+        raise ApplicationError(f"search depth must be >= 1, got {depth}")
+    board = midgame_board() if use_midgame else initial_board()
+    player = BLACK
+    moves = legal_moves(board, player)
+    jobs: List[_Job] = []
+    for m1 in moves:
+        child1 = apply_move(board, m1, player)
+        if depth < 2:
+            value, nodes = evaluate(child1, player), 1
+            jobs.append(_Job(m1, -1, value, nodes))
+            continue
+        replies = legal_moves(child1, -player)
+        if not replies:
+            value, nodes = alphabeta(child1, -player, depth - 1)
+            jobs.append(_Job(m1, -1, -value, nodes + 1))
+            continue
+        for m2 in replies:
+            child2 = apply_move(child1, m2, -player)
+            value, nodes = alphabeta(child2, player, depth - 2)
+            # value is for `player`; job value stored from root perspective
+            jobs.append(_Job(m1, m2, value, nodes + 1))
+    workload = OthelloWorkload(
+        depth=depth,
+        player=player,
+        jobs=tuple(jobs),
+        root_moves=tuple(moves),
+        best_value=_combine(jobs, moves),
+        best_move=_best_of(jobs, moves),
+        total_nodes=sum(j.nodes for j in jobs),
+    )
+    return workload
+
+
+def _value_of_move(jobs: List[_Job], m1: int) -> int:
+    """Root value of move ``m1``: min over opponent replies."""
+    subtree = [j for j in jobs if j.move1 == m1]
+    whole = [j for j in subtree if j.move2 == -1]
+    if whole:
+        return whole[0].value
+    return min(j.value for j in subtree)
+
+
+def _combine(jobs: List[_Job], moves: List[int]) -> int:
+    if not moves:
+        return 0
+    return max(_value_of_move(jobs, m) for m in moves)
+
+
+def _best_of(jobs: List[_Job], moves: List[int]) -> Optional[int]:
+    if not moves:
+        return None
+    return max(moves, key=lambda m: (_value_of_move(jobs, m), -m))
+
+
+def othello_worker(
+    api: ParallelAPI, depth: int, use_midgame: bool = True
+) -> Generator[Event, Any, Dict[str, Any]]:
+    """DSE-parallel Othello search (run under ``run_parallel``)."""
+    workload = othello_workload(depth, use_midgame)
+    njobs = len(workload.jobs)
+    base = 0  # queue in kernel 0's slice
+
+    if api.rank == 0:
+        yield from init_job_queue(api, base, njobs)
+    yield from api.barrier("oth:init")
+    t0 = api.now
+
+    jobs_work = [NODE_WORK.scaled(job.nodes) for job in workload.jobs]
+    mine = yield from work_job_queue(
+        api, base, jobs_work, lambda j: float(workload.jobs[j].value)
+    )
+    yield from api.barrier("oth:done")
+    t1 = api.now
+
+    result: Dict[str, Any] = {"jobs_done": len(mine), "t0": t0, "t1": t1}
+    if api.rank == 0:
+        values = yield from collect_results(api, base, njobs)
+        recombined = [
+            _Job(j.move1, j.move2, int(values[i]), j.nodes)
+            for i, j in enumerate(workload.jobs)
+        ]
+        result["value"] = _combine(recombined, list(workload.root_moves))
+        result["best_move"] = _best_of(recombined, list(workload.root_moves))
+        result["expected_value"] = workload.best_value
+    return result

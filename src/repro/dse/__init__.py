@@ -1,0 +1,58 @@
+"""The DSE runtime: the paper's primary contribution.
+
+Layout mirrors the paper's Figure 3:
+
+* :mod:`~repro.dse.kernel` — the DSE kernel as a parallel processing library
+* :mod:`~repro.dse.procman` — parallel process management module
+* :mod:`~repro.dse.gmem` — global memory management module (home-based DSM)
+* :mod:`~repro.dse.coherence` — write-invalidate caching DSM (ablation)
+* :mod:`~repro.dse.exchange` — message exchange mechanism
+* :mod:`~repro.dse.messages` — message create/analyze formats
+* :mod:`~repro.dse.sync` — distributed locks and barriers
+* :mod:`~repro.dse.api` — the Parallel API library applications link against
+* :mod:`~repro.dse.cluster` / :mod:`~repro.dse.config` — cluster (and
+  virtual-cluster) construction
+* :mod:`~repro.dse.runtime` — SPMD / master-worker runners
+"""
+
+from .api import ParallelAPI
+from .cluster import Cluster
+from .config import ClusterConfig, DEFAULT_MACHINES
+from .exchange import DSE_BASE_PORT, MessageExchange
+from .gmem import GlobalMemoryManager
+from .kernel import DSEKernel
+from .messages import DSEMessage, HEADER_BYTES, MsgType, WORD_BYTES
+from .procman import ProcessManager, RemoteProcHandle
+from .runtime import RunResult, run_master, run_parallel
+from .sync import SyncManager
+from .collectives import allreduce, broadcast, gather, reduce, scatter
+from .taskfarm import FARM_RANK_BASE, farm, farm_dynamic
+
+__all__ = [
+    "ParallelAPI",
+    "Cluster",
+    "ClusterConfig",
+    "DEFAULT_MACHINES",
+    "DSE_BASE_PORT",
+    "MessageExchange",
+    "GlobalMemoryManager",
+    "DSEKernel",
+    "DSEMessage",
+    "HEADER_BYTES",
+    "MsgType",
+    "WORD_BYTES",
+    "ProcessManager",
+    "RemoteProcHandle",
+    "RunResult",
+    "run_master",
+    "run_parallel",
+    "SyncManager",
+    "FARM_RANK_BASE",
+    "farm",
+    "farm_dynamic",
+    "allreduce",
+    "broadcast",
+    "gather",
+    "reduce",
+    "scatter",
+]

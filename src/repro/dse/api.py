@@ -1,0 +1,149 @@
+"""Parallel Application Programming Interface library (paper Figure 3).
+
+A :class:`ParallelAPI` is what application code programs against — one
+instance per DSE process.  Application bodies are generator functions::
+
+    def worker(api):
+        addr = yield from api.gm_alloc(1024)
+        yield from api.gm_write(addr, values)
+        yield from api.barrier("step")
+        data = yield from api.gm_read(addr, 1024)
+        return float(data.sum())
+
+All methods that may suspend (touch memory, synchronise, compute) are
+generators and must be driven with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DSEError
+from ..hardware.cpu import Work
+from ..sim.core import Event
+from .messages import WORD_BYTES
+from .procman import RemoteProcHandle
+
+__all__ = ["ParallelAPI"]
+
+
+class ParallelAPI:
+    """The per-process handle onto DSE services."""
+
+    def __init__(self, kernel, rank: int):
+        self.kernel = kernel
+        self.rank = rank
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of DSE kernels (processors) in the cluster."""
+        return self.kernel.cluster_size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.kernel.sim.now
+
+    @property
+    def hostname(self) -> str:
+        return self.kernel.machine.hostname
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ParallelAPI rank={self.rank}/{self.size} on k{self.kernel.kernel_id}>"
+
+    # -- computation -----------------------------------------------------------
+    def compute(self, work: Work) -> Generator[Event, Any, None]:
+        """Charge abstract operation counts to this node's CPU."""
+        yield from self.kernel.unix_process.compute(work)
+
+    def compute_seconds(self, seconds: float) -> Generator[Event, Any, None]:
+        yield from self.kernel.unix_process.compute_seconds(seconds)
+
+    # -- global memory ------------------------------------------------------
+    def gm_alloc(self, nwords: int) -> Generator[Event, Any, int]:
+        """Allocate ``nwords`` words of global memory; returns the address."""
+        return (yield from self.kernel.gmem.alloc(nwords))
+
+    def gm_read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
+        """Read ``nwords`` float64 words from global memory."""
+        return (yield from self.kernel.gmem.read(addr, nwords))
+
+    def gm_write(self, addr: int, values: Sequence[float]) -> Generator[Event, Any, None]:
+        """Write float64 words into global memory."""
+        yield from self.kernel.gmem.write(addr, values)
+
+    def gm_read_scalar(self, addr: int) -> Generator[Event, Any, float]:
+        data = yield from self.kernel.gmem.read(addr, 1)
+        return float(data[0])
+
+    def gm_write_scalar(self, addr: int, value: float) -> Generator[Event, Any, None]:
+        yield from self.kernel.gmem.write(addr, [value])
+
+    @staticmethod
+    def words_for_bytes(nbytes: int) -> int:
+        """Words needed to hold ``nbytes`` bytes."""
+        return -(-nbytes // WORD_BYTES)
+
+    def home_base(self, kernel_id: int) -> int:
+        """First global address homed at ``kernel_id``.
+
+        Applications use this to *place* data: writing a partition at
+        ``home_base(r) + offset`` makes rank r's accesses local, exactly as
+        the paper's Figure 1 distributes the Global Memory across PEs.
+        """
+        if not (0 <= kernel_id < self.size):
+            raise DSEError(f"kernel id {kernel_id} out of range")
+        return kernel_id * self.kernel.gmem.slice_words
+
+    @property
+    def slice_words(self) -> int:
+        """Words of global memory homed at each kernel."""
+        return self.kernel.gmem.slice_words
+
+    # -- synchronisation ---------------------------------------------------
+    def lock(self, name: str) -> Generator[Event, Any, None]:
+        yield from self.kernel.sync.acquire(name)
+
+    def unlock(self, name: str) -> Generator[Event, Any, None]:
+        yield from self.kernel.sync.release(name)
+
+    def barrier(
+        self, name: str, parties: Optional[int] = None
+    ) -> Generator[Event, Any, None]:
+        """Wait until ``parties`` processes (default: all ranks) arrive."""
+        yield from self.kernel.sync.barrier(name, parties or self.size)
+
+    # -- parallel process management -------------------------------------------
+    def spawn_workers(
+        self,
+        entry: Callable,
+        ranks: Optional[Sequence[int]] = None,
+        args_of: Optional[Callable[[int], tuple]] = None,
+    ) -> Generator[Event, Any, List[RemoteProcHandle]]:
+        """Invoke ``entry`` as a DSE process on each rank's kernel.
+
+        By default spawns every rank except this one; rank *r* runs on
+        kernel *r* (the cluster's placement may redirect — see SSI).
+        """
+        if ranks is None:
+            ranks = [r for r in range(self.size) if r != self.rank]
+        handles = []
+        for rank in ranks:
+            target = self.kernel.cluster.placement(rank)
+            args = args_of(rank) if args_of else ()
+            handle = yield from self.kernel.procman.invoke(target, entry, rank, args)
+            handles.append(handle)
+        return handles
+
+    def wait_workers(
+        self, handles: List[RemoteProcHandle]
+    ) -> Generator[Event, Any, Dict[int, Any]]:
+        """Collect return values of spawned workers: {rank: value}."""
+        return (yield from self.kernel.procman.wait_all(handles))
+
+    # -- misc ----------------------------------------------------------------
+    def sleep(self, seconds: float) -> Generator[Event, Any, None]:
+        yield from self.kernel.unix_process.sleep(seconds)

@@ -1,0 +1,134 @@
+"""Cluster construction: machines, network, kernels, routing.
+
+A :class:`Cluster` assembles the full simulated system from a
+:class:`ClusterConfig` and owns the cross-cutting lookups (kernel routes,
+rank placement, SSI information requests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..errors import ConfigurationError
+from ..hardware.node import NodeSpec
+from ..osmodel.machine import Machine
+from ..protocol.transport import make_transport
+from ..sim.core import Event, Simulator
+from ..sim.rng import RandomStreams
+from ..network.topology import build_network
+from .config import ClusterConfig
+from .exchange import DSE_BASE_PORT
+from .gmem import GlobalMemoryManager
+from .kernel import DSEKernel
+from .messages import DSEMessage
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """One fully wired simulated DSE cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RandomStreams(config.seed)
+        from ..sim.monitor import Tracer
+
+        #: per-message trace (populated only when config.trace is set)
+        self.tracer = Tracer(enabled=config.trace)
+
+        n_machines = config.machines_used
+        self.network = build_network(self.sim, self.rng, n_machines, config.fabric)
+        self.machines: List[Machine] = []
+        for m in range(n_machines):
+            nic = self.network.nic(m)
+            transport = make_transport(self.sim, nic, config.transport)
+            node = NodeSpec(node_id=m, platform=config.platform_of_machine(m))
+            self.machines.append(Machine(self.sim, node, nic, transport))
+
+        self.kernels: List[DSEKernel] = [
+            DSEKernel(k, self.machines[config.machine_of(k)], self)
+            for k in range(config.n_processors)
+        ]
+        # Full routing mesh: every kernel can reach every kernel.
+        for a in self.kernels:
+            for b in self.kernels:
+                a.exchange.add_route(
+                    b.kernel_id, b.machine.station_id, DSE_BASE_PORT + b.kernel_id
+                )
+
+    # -- lookups ------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.config.n_processors
+
+    def kernel(self, kernel_id: int) -> DSEKernel:
+        try:
+            return self.kernels[kernel_id]
+        except IndexError:
+            raise ConfigurationError(f"no kernel {kernel_id}") from None
+
+    def placement(self, rank: int) -> int:
+        """Kernel that runs DSE process ``rank`` (identity by default; the
+        SSI layer installs smarter policies through this hook)."""
+        if not (0 <= rank < self.size):
+            raise ConfigurationError(f"rank {rank} out of range 0..{self.size - 1}")
+        return rank
+
+    def make_gmem(self, kernel: DSEKernel) -> GlobalMemoryManager:
+        """Build the kernel's global-memory manager per the config policy."""
+        if self.config.coherence == "home":
+            return GlobalMemoryManager(
+                kernel, self.config.total_gm_words, self.config.block_words
+            )
+        from .coherence import CachingGlobalMemory
+
+        return CachingGlobalMemory(
+            kernel, self.config.total_gm_words, self.config.block_words
+        )
+
+    # -- SSI support -----------------------------------------------------------
+    def ssi_info_response(self, kernel: DSEKernel, msg: DSEMessage) -> DSEMessage:
+        """Answer a cluster-information request (served by any kernel)."""
+        info = {
+            "hostname": kernel.machine.hostname,
+            "kernel_id": kernel.kernel_id,
+            "platform": kernel.machine.platform.name,
+            "load_average": kernel.machine.load_average(),
+            "live_processes": len(kernel.machine.live_processes),
+        }
+        return msg.make_response(data=info, extra_bytes=128)
+
+    # -- teardown ----------------------------------------------------------
+    def shutdown_from(self, kernel_id: int = 0) -> Generator[Event, Any, None]:
+        """Stop every kernel's service loop (drive from a DSE process)."""
+        origin = self.kernel(kernel_id)
+        for k in range(self.size):
+            yield from origin.request_shutdown_of(k)
+
+    # -- aggregate statistics ---------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Cluster-wide counters the experiment reports cite."""
+        out: Dict[str, float] = {}
+        fabric = self.network.fabric
+        out["net.frames_sent"] = fabric.stats.counter("frames_sent").value
+        out["net.collisions"] = fabric.stats.counter("collisions").value
+        out["net.bytes_sent"] = fabric.stats.counter("bytes_sent").value
+        out["net.collision_rate"] = fabric.collision_rate()
+        out["msgs_sent"] = sum(
+            m.stats.counter("msgs_sent").value for m in self.machines
+        )
+        out["gm.remote_reads"] = sum(
+            k.gmem.stats.counter("remote_reads").value for k in self.kernels
+        )
+        out["gm.remote_writes"] = sum(
+            k.gmem.stats.counter("remote_writes").value for k in self.kernels
+        )
+        out["gm.local_reads"] = sum(
+            k.gmem.stats.counter("local_reads").value for k in self.kernels
+        )
+        out["gm.local_writes"] = sum(
+            k.gmem.stats.counter("local_writes").value for k in self.kernels
+        )
+        out["max_load_average"] = max(m.load_average() for m in self.machines)
+        return out

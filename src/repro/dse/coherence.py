@@ -1,0 +1,273 @@
+"""Write-invalidate caching DSM (coherence ablation).
+
+The baseline DSE global memory (:mod:`repro.dse.gmem`) sends a message for
+*every* non-home access.  This policy instead caches blocks at readers and
+writers with a directory at each block's home kernel:
+
+* **read miss** → ``GM_FETCH_REQ`` to home; home recalls an exclusive owner
+  if there is one, then replies with the block; requester caches it SHARED.
+* **write miss / upgrade** → ``GM_OWN_REQ`` to home; home recalls the owner
+  and invalidates all sharers, then grants EXCLUSIVE ownership with data.
+* **recall/invalidate** → ``GM_INV_REQ`` to the holder; a dirty owner
+  returns the block contents, which home folds into its storage.
+
+Repeated access to a cached block is then a local, message-free operation —
+the trade the ablation bench quantifies against the home policy.
+
+Correctness notes (the subtle bits, enforced by tests):
+
+* home serialises directory transactions per block with a mutex;
+* a requester installs its block *synchronously* upon processing the
+  response, and marks the block "pending" from request to install so that
+  an overlapping invalidation waits for the install instead of missing it;
+* requesters never hold any lock across a remote request (no distributed
+  deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Set, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import GlobalMemoryError
+from ..hardware.cpu import Work
+from ..sim.core import Event
+from ..sim.resources import Mutex
+from .gmem import GlobalMemoryManager, _GM_CALL_WORK
+from .messages import DSEMessage, MsgType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import DSEKernel
+
+__all__ = ["CachingGlobalMemory", "CacheLine"]
+
+SHARED = "S"
+EXCLUSIVE = "E"
+
+
+class CacheLine:
+    """One locally cached global-memory block."""
+
+    __slots__ = ("data", "state", "dirty")
+
+    def __init__(self, data: np.ndarray, state: str):
+        self.data = data
+        self.state = state
+        self.dirty = False
+
+
+class _DirEntry:
+    """Home-side directory state for one block."""
+
+    __slots__ = ("sharers", "owner", "mutex")
+
+    def __init__(self, mutex: Mutex):
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.mutex = mutex
+
+
+class CachingGlobalMemory(GlobalMemoryManager):
+    """Directory-based write-invalidate DSM."""
+
+    policy_name = "cache"
+
+    def __init__(self, kernel: "DSEKernel", total_words: int, block_words: int):
+        super().__init__(kernel, total_words, block_words)
+        self._cache: Dict[int, CacheLine] = {}
+        self._pending: Dict[int, Event] = {}
+        self._directory: Dict[int, _DirEntry] = {}
+
+    # -- block arithmetic ---------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        return addr // self.block_words
+
+    def block_span(self, addr: int, nwords: int):
+        """Yield (block, block_start, lo, hi) covering [addr, addr+n)."""
+        self._check_range(addr, nwords)
+        end = addr + nwords
+        b = self.block_of(addr)
+        while True:
+            start = b * self.block_words
+            stop = start + self.block_words
+            lo = max(addr, start)
+            hi = min(end, stop)
+            yield b, start, lo, hi
+            if hi >= end:
+                break
+            b += 1
+
+    def _dir_entry(self, block: int) -> _DirEntry:
+        entry = self._directory.get(block)
+        if entry is None:
+            entry = self._directory[block] = _DirEntry(
+                Mutex(self.kernel.sim, name=f"dir:k{self.kernel.kernel_id}:b{block}")
+            )
+        return entry
+
+    # -- public API ------------------------------------------------------------
+    def read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
+        yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        out = np.empty(nwords, dtype=np.float64)
+        for block, start, lo, hi in self.block_span(addr, nwords):
+            line = yield from self._ensure_cached(block, exclusive=False)
+            yield from self.kernel.unix_process.compute(Work(mems=hi - lo))
+            out[lo - addr : hi - addr] = line.data[lo - start : hi - start]
+        self.stats.counter("words_read").increment(nwords)
+        return out
+
+    def write(self, addr: int, values: Any) -> Generator[Event, Any, None]:
+        data = np.asarray(values, dtype=np.float64).ravel()
+        nwords = len(data)
+        yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        for block, start, lo, hi in self.block_span(addr, nwords):
+            line = yield from self._ensure_cached(block, exclusive=True)
+            yield from self.kernel.unix_process.compute(Work(mems=hi - lo))
+            line.data[lo - start : hi - start] = data[lo - addr : hi - addr]
+            line.dirty = True
+        self.stats.counter("words_written").increment(nwords)
+
+    # -- cache fill --------------------------------------------------------------
+    def _ensure_cached(
+        self, block: int, exclusive: bool
+    ) -> Generator[Event, Any, CacheLine]:
+        while True:
+            pending = self._pending.get(block)
+            if pending is not None:
+                yield pending
+                continue  # re-check: install happened, state may still be wrong
+            line = self._cache.get(block)
+            if line is not None and (line.state == EXCLUSIVE or not exclusive):
+                if line is not None and exclusive:
+                    self.stats.counter("hits_exclusive").increment()
+                else:
+                    self.stats.counter("hits").increment()
+                return line
+            break
+        # Miss (or shared->exclusive upgrade): transact with home.
+        self.stats.counter("upgrades" if line is not None else "misses").increment()
+        marker = self.kernel.sim.event(name=f"fill:b{block}")
+        self._pending[block] = marker
+        try:
+            msg = DSEMessage(
+                msg_type=MsgType.GM_OWN_REQ if exclusive else MsgType.GM_FETCH_REQ,
+                src_kernel=self.kernel.kernel_id,
+                dst_kernel=self.home_of(block * self.block_words),
+                addr=block * self.block_words,
+                nwords=self.block_words,
+            )
+            rsp = yield from self.kernel.exchange.request(msg)
+            if rsp.status != "ok":
+                raise GlobalMemoryError(f"coherence fill failed: {rsp.status}")
+            # Install SYNCHRONOUSLY (no yields) so no invalidation can race
+            # between response processing and install.
+            line = CacheLine(
+                np.array(rsp.data, dtype=np.float64),
+                EXCLUSIVE if exclusive else SHARED,
+            )
+            self._cache[block] = line
+            return line
+        finally:
+            del self._pending[block]
+            if not marker.triggered:
+                marker.succeed()
+
+    # -- home-side directory + holder-side invalidation ------------------------
+    def handle_coherence(
+        self, msg: DSEMessage
+    ) -> Generator[Event, Any, Optional[DSEMessage]]:
+        t = msg.msg_type
+        if t is MsgType.GM_INV_REQ:
+            return (yield from self._handle_invalidate(msg))
+        if t is MsgType.GM_WB_REQ:
+            return (yield from self._handle_writeback(msg))
+        if t in (MsgType.GM_FETCH_REQ, MsgType.GM_OWN_REQ):
+            return (yield from self._handle_fill(msg))
+        raise GlobalMemoryError(f"unexpected coherence message {t}")
+
+    def _handle_fill(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        block = self.block_of(msg.addr)
+        if not self._owns(msg.addr, msg.nwords):
+            return msg.make_response(status="not-home", nwords=0)
+        entry = self._dir_entry(block)
+        req = entry.mutex.request()
+        yield req
+        try:
+            requester = msg.src_kernel
+            exclusive = msg.msg_type is MsgType.GM_OWN_REQ
+            # Recall the current exclusive owner, folding dirty data home.
+            if entry.owner is not None and entry.owner != requester:
+                yield from self._recall(entry, block, msg.addr)
+            if exclusive:
+                # Invalidate every other sharer, then grant ownership.
+                for sharer in sorted(entry.sharers - {requester}):
+                    yield from self._send_invalidate(sharer, msg.addr, entry, block)
+                entry.sharers = set()
+                entry.owner = requester
+                self.stats.counter("grants_exclusive").increment()
+            else:
+                if entry.owner == requester:
+                    entry.owner = None  # downgrade: owner re-reading via fetch
+                entry.sharers.add(requester)
+                self.stats.counter("grants_shared").increment()
+            yield from self.kernel.unix_process.compute(Work(mems=msg.nwords, iops=120))
+            return msg.make_response(data=self._local_read(msg.addr, msg.nwords))
+        finally:
+            entry.mutex.release(req)
+
+    def _recall(
+        self, entry: _DirEntry, block: int, addr: int
+    ) -> Generator[Event, Any, None]:
+        owner = entry.owner
+        assert owner is not None
+        yield from self._send_invalidate(owner, addr, entry, block)
+        entry.owner = None
+
+    def _send_invalidate(
+        self, holder: int, addr: int, entry: _DirEntry, block: int
+    ) -> Generator[Event, Any, None]:
+        msg = DSEMessage(
+            msg_type=MsgType.GM_INV_REQ,
+            src_kernel=self.kernel.kernel_id,
+            dst_kernel=holder,
+            addr=addr,
+            nwords=self.block_words,
+        )
+        rsp = yield from self.kernel.exchange.request(msg)
+        self.stats.counter("invalidations_sent").increment()
+        entry.sharers.discard(holder)
+        if rsp.nwords:  # dirty data returned: fold into home storage
+            self._local_write(addr, np.asarray(rsp.data, dtype=np.float64))
+
+    def _handle_invalidate(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        block = self.block_of(msg.addr)
+        line = self._cache.pop(block, None)
+        if line is None:
+            # No line yet: the only legal way home can target us is a grant
+            # whose response is processed but not installed — wait for the
+            # install, then invalidate.  (A present line is invalidated
+            # immediately, even mid-upgrade; waiting on an upgrade's pending
+            # marker here would deadlock through home's directory mutex.)
+            pending = self._pending.get(block)
+            if pending is not None:
+                yield pending
+                line = self._cache.pop(block, None)
+        self.stats.counter("invalidations_received").increment()
+        yield from self.kernel.unix_process.compute(Work(iops=80))
+        if line is not None and line.dirty:
+            return msg.make_response(data=line.data, nwords=self.block_words)
+        return msg.make_response(nwords=0)
+
+    def _handle_writeback(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        if not self._owns(msg.addr, msg.nwords):
+            return msg.make_response(status="not-home", nwords=0)
+        yield from self.kernel.unix_process.compute(Work(mems=msg.nwords))
+        self._local_write(msg.addr, np.asarray(msg.data, dtype=np.float64))
+        self.stats.counter("writebacks").increment()
+        return msg.make_response(nwords=0)
+
+    # -- introspection (tests) ------------------------------------------------
+    def cached_state(self, block: int) -> Optional[str]:
+        line = self._cache.get(block)
+        return line.state if line else None

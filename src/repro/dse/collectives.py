@@ -1,0 +1,156 @@
+"""Collective operations over DSE global memory.
+
+The shared-memory model makes collectives simple library routines rather
+than protocol machinery: a broadcast is "root writes, everyone reads after
+a barrier"; a reduction is "everyone writes its slot, root combines".
+These are the patterns the bundled applications hand-roll; packaged here
+for SPMD user code.
+
+All collectives are *named* (like barriers) so independent collectives
+never interfere, and every rank of the SPMD program must call them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DSEError
+from ..sim.core import Event
+from .api import ParallelAPI
+
+__all__ = ["broadcast", "reduce", "allreduce", "gather", "scatter", "REDUCE_OPS"]
+
+REDUCE_OPS: dict = {
+    "sum": lambda arr: arr.sum(axis=0),
+    "max": lambda arr: arr.max(axis=0),
+    "min": lambda arr: arr.min(axis=0),
+    "prod": lambda arr: arr.prod(axis=0),
+}
+
+#: fixed-size scratch slots at the top of global memory (the bump
+#: allocator grows from the bottom, so user data never reaches them)
+SCRATCH_SLOTS = 64
+SCRATCH_SLOT_WORDS = 8192
+
+
+def _scratch_base(api: ParallelAPI, name: str, words_needed: int) -> int:
+    """A deterministic per-name scratch address near the top of global
+    memory.  The name hashes into one of :data:`SCRATCH_SLOTS` fixed-size
+    slots; two *concurrently running* collectives with names in the same
+    slot would interfere, so give simultaneous collectives distinct names
+    (successive ones are safe — their barriers serialise them)."""
+    if words_needed > SCRATCH_SLOT_WORDS:
+        raise DSEError(
+            f"collective {name!r} needs {words_needed} words "
+            f"(> slot size {SCRATCH_SLOT_WORDS}); stage it via gm_alloc instead"
+        )
+    gm = api.kernel.gmem
+    slot = sum(name.encode()) % SCRATCH_SLOTS
+    base = gm.total_words - (slot + 1) * SCRATCH_SLOT_WORDS
+    if base < 0:
+        raise DSEError("global memory too small for collective scratch slots")
+    return base
+
+
+def broadcast(
+    api: ParallelAPI,
+    name: str,
+    values: Optional[Sequence[float]],
+    nwords: int,
+    root: int = 0,
+) -> Generator[Event, Any, np.ndarray]:
+    """Root publishes ``values`` (length ``nwords``); every rank returns them."""
+    base = _scratch_base(api, name, nwords)
+    if api.rank == root:
+        data = np.asarray(values, dtype=np.float64).ravel()
+        if len(data) != nwords:
+            raise DSEError(f"broadcast {name!r}: got {len(data)} words, said {nwords}")
+        yield from api.gm_write(base, data)
+    yield from api.barrier(f"bcast:{name}")
+    result = yield from api.gm_read(base, nwords)
+    yield from api.barrier(f"bcast2:{name}")
+    return result
+
+
+def reduce(
+    api: ParallelAPI,
+    name: str,
+    values: Sequence[float],
+    op: str = "sum",
+    root: int = 0,
+) -> Generator[Event, Any, Optional[np.ndarray]]:
+    """Element-wise reduction of one equal-length vector per rank; the
+    root returns the result, others ``None``."""
+    if op not in REDUCE_OPS:
+        raise DSEError(f"unknown reduction op {op!r}; known: {sorted(REDUCE_OPS)}")
+    data = np.asarray(values, dtype=np.float64).ravel()
+    nwords = len(data)
+    base = _scratch_base(api, name, nwords * api.size)
+    yield from api.gm_write(base + api.rank * nwords, data)
+    yield from api.barrier(f"reduce:{name}")
+    result = None
+    if api.rank == root:
+        flat = yield from api.gm_read(base, nwords * api.size)
+        result = REDUCE_OPS[op](flat.reshape(api.size, nwords))
+    yield from api.barrier(f"reduce2:{name}")
+    return result
+
+
+def allreduce(
+    api: ParallelAPI,
+    name: str,
+    values: Sequence[float],
+    op: str = "sum",
+) -> Generator[Event, Any, np.ndarray]:
+    """Reduction whose result every rank receives."""
+    reduced = yield from reduce(api, name, values, op=op, root=0)
+    nwords = len(np.asarray(values).ravel())
+    result = yield from broadcast(
+        api, f"{name}:ar", reduced if api.rank == 0 else None, nwords, root=0
+    )
+    return result
+
+
+def gather(
+    api: ParallelAPI,
+    name: str,
+    values: Sequence[float],
+    root: int = 0,
+) -> Generator[Event, Any, Optional[np.ndarray]]:
+    """Concatenate one equal-length vector per rank at the root
+    (shape ``(size, nwords)``); others return ``None``."""
+    data = np.asarray(values, dtype=np.float64).ravel()
+    nwords = len(data)
+    base = _scratch_base(api, name, nwords * api.size)
+    yield from api.gm_write(base + api.rank * nwords, data)
+    yield from api.barrier(f"gather:{name}")
+    result = None
+    if api.rank == root:
+        flat = yield from api.gm_read(base, nwords * api.size)
+        result = flat.reshape(api.size, nwords).copy()
+    yield from api.barrier(f"gather2:{name}")
+    return result
+
+
+def scatter(
+    api: ParallelAPI,
+    name: str,
+    values: Optional[Sequence[float]],
+    nwords_each: int,
+    root: int = 0,
+) -> Generator[Event, Any, np.ndarray]:
+    """Root distributes ``size * nwords_each`` words; rank r returns slice r."""
+    base = _scratch_base(api, name, nwords_each * api.size)
+    if api.rank == root:
+        data = np.asarray(values, dtype=np.float64).ravel()
+        if len(data) != nwords_each * api.size:
+            raise DSEError(
+                f"scatter {name!r}: need {nwords_each * api.size} words, got {len(data)}"
+            )
+        yield from api.gm_write(base, data)
+    yield from api.barrier(f"scatter:{name}")
+    result = yield from api.gm_read(base + api.rank * nwords_each, nwords_each)
+    yield from api.barrier(f"scatter2:{name}")
+    return result

@@ -1,0 +1,103 @@
+"""Cluster configuration.
+
+Captures everything a run of the paper's experiments varies: which Table-1
+platform, how many DSE kernels (processors), how many physical machines
+(six, per the paper — more kernels than machines means kernels double up,
+the *virtual cluster*), the network fabric, the transport, and the DSM
+coherence policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..hardware.platform import PlatformSpec
+from ..hardware.platforms import LINUX_PCAT
+from ..network.topology import FabricConfig
+
+__all__ = ["ClusterConfig", "DEFAULT_MACHINES"]
+
+#: the paper's experiments used six physical machines per platform
+DEFAULT_MACHINES = 6
+
+_COHERENCE_POLICIES = ("home", "cache")
+_TRANSPORTS = ("datagram", "reliable", "reliable-gbn")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of one simulated DSE cluster."""
+
+    platform: PlatformSpec = LINUX_PCAT
+    n_processors: int = 4  # number of DSE kernels
+    n_machines: int = DEFAULT_MACHINES  # physical machines available
+    #: optional heterogeneous cluster: machine *i* uses ``platforms[i]``
+    #: (cycled if shorter than n_machines); overrides ``platform``.  The
+    #: paper targets exactly this — one environment across mixed UNIX boxes.
+    platforms: Optional[Tuple[PlatformSpec, ...]] = None
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    transport: str = "datagram"
+    coherence: str = "home"
+    total_gm_words: int = 1 << 22  # 32 MiB of global memory
+    block_words: int = 128  # 1 KiB blocks
+    seed: int = 1999
+    #: record per-message trace events (see repro.experiments.timeline)
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ConfigurationError("need at least one processor")
+        if self.n_machines < 1:
+            raise ConfigurationError("need at least one machine")
+        if self.transport not in _TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; expected {_TRANSPORTS}"
+            )
+        if self.coherence not in _COHERENCE_POLICIES:
+            raise ConfigurationError(
+                f"unknown coherence policy {self.coherence!r}; expected {_COHERENCE_POLICIES}"
+            )
+        if self.total_gm_words <= 0 or self.block_words <= 0:
+            raise ConfigurationError("memory sizes must be positive")
+        if self.block_words > self.total_gm_words:
+            raise ConfigurationError("block_words cannot exceed total_gm_words")
+        if self.platforms is not None and len(self.platforms) == 0:
+            raise ConfigurationError("platforms tuple cannot be empty")
+
+    # -- placement -----------------------------------------------------------
+    @property
+    def machines_used(self) -> int:
+        """Physical machines actually built for this processor count."""
+        return min(self.n_processors, self.n_machines)
+
+    def machine_of(self, kernel_id: int) -> int:
+        """Round-robin kernel placement; beyond ``n_machines`` kernels start
+        doubling up — the paper's virtual cluster construction."""
+        if not (0 <= kernel_id < self.n_processors):
+            raise ConfigurationError(f"kernel id {kernel_id} out of range")
+        return kernel_id % self.machines_used
+
+    def kernels_on(self, machine_id: int) -> List[int]:
+        return [
+            k for k in range(self.n_processors) if self.machine_of(k) == machine_id
+        ]
+
+    def max_colocation(self) -> int:
+        """Largest number of kernels sharing one machine."""
+        return max(len(self.kernels_on(m)) for m in range(self.machines_used))
+
+    def platform_of_machine(self, machine_id: int) -> PlatformSpec:
+        """The platform of one physical machine (heterogeneous-aware)."""
+        if not (0 <= machine_id < self.machines_used):
+            raise ConfigurationError(f"machine id {machine_id} out of range")
+        if self.platforms is None:
+            return self.platform
+        return self.platforms[machine_id % len(self.platforms)]
+
+    def with_processors(self, n: int) -> "ClusterConfig":
+        """Copy with a different processor count (sweep helper)."""
+        from dataclasses import replace
+
+        return replace(self, n_processors=n)

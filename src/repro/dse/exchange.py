@@ -1,0 +1,148 @@
+"""Message exchange mechanism (paper Figure 3, right-hand column).
+
+Routes DSE messages between kernels:
+
+* **own node** — a message whose destination is the *same kernel* never
+  touches the OS: the paper's re-organisation put the DSE kernel and DSE
+  process into one UNIX process precisely so this path is a library call.
+  We charge only a small library-call cost and dispatch inline.
+* **co-located kernel** — a kernel on the same machine (virtual cluster)
+  is reached through the loopback path: full protocol processing, no wire.
+* **remote kernel** — full path: syscalls, protocol processing, Ethernet.
+
+``request`` implements the RPC pattern (send request, await the response
+with a matching sequence number); ``notify`` is one-way; ``reply`` is used
+by handlers, possibly long after the request arrived (deferred replies are
+how distributed locks queue waiters).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Tuple, TYPE_CHECKING
+
+from ..errors import DSEError
+from ..hardware.cpu import Work
+from ..osmodel.sockets import Socket
+from ..sim.core import Event
+from ..sim.monitor import StatSet
+from .messages import DSEMessage, MsgType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import DSEKernel
+
+__all__ = ["MessageExchange", "DSE_BASE_PORT", "LOCAL_CALL_WORK"]
+
+#: kernel *k* listens on DSE_BASE_PORT + k on its machine
+DSE_BASE_PORT = 6200
+
+#: cost of the library-call path for own-node messages (the win of the
+#: paper's re-organisation: no syscall, no protocol processing)
+LOCAL_CALL_WORK = Work(iops=200, mems=50)
+
+
+class MessageExchange:
+    """One kernel's message exchange module."""
+
+    def __init__(self, kernel: "DSEKernel"):
+        self.kernel = kernel
+        self.sim = kernel.sim
+        #: kernel id -> (station id, port)
+        self.routes: Dict[int, Tuple[int, int]] = {}
+        self.socket: Socket = kernel.machine.open_socket(
+            kernel.unix_process, DSE_BASE_PORT + kernel.kernel_id
+        )
+        self.stats = StatSet(f"exchange:k{kernel.kernel_id}")
+
+    def add_route(self, kernel_id: int, station: int, port: int) -> None:
+        self.routes[kernel_id] = (station, port)
+
+    def route_of(self, kernel_id: int) -> Tuple[int, int]:
+        try:
+            return self.routes[kernel_id]
+        except KeyError:
+            raise DSEError(
+                f"kernel {self.kernel.kernel_id} has no route to kernel {kernel_id}"
+            ) from None
+
+    # -- outgoing ----------------------------------------------------------
+    def request(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        """Send a request and await its matching response."""
+        if not msg.is_request:
+            raise DSEError(f"request() called with non-request {msg.msg_type}")
+        if msg.dst_kernel == self.kernel.kernel_id:
+            # Own node: the parallel processing library handles it inline.
+            self.stats.counter("local_calls").increment()
+            yield from self.kernel.unix_process.compute(LOCAL_CALL_WORK)
+            response = yield from self.kernel.dispatch(msg)
+            if response is None:
+                # Deferred local reply (e.g. contended local lock): wait for
+                # it to arrive on our own socket like any other response.
+                response = yield from self._await_response(msg.seq)
+            return response
+        self.stats.counter("requests_sent").increment()
+        yield from self._transmit(msg)
+        return (yield from self._await_response(msg.seq))
+
+    def notify(self, msg: DSEMessage) -> Generator[Event, Any, None]:
+        """Send a one-way message (no response expected)."""
+        if msg.dst_kernel == self.kernel.kernel_id:
+            self.stats.counter("local_calls").increment()
+            yield from self.kernel.unix_process.compute(LOCAL_CALL_WORK)
+            response = yield from self.kernel.dispatch(msg)
+            if response is not None:
+                raise DSEError(f"notify of {msg.msg_type} produced a response")
+            return
+        self.stats.counter("notifies_sent").increment()
+        yield from self._transmit(msg)
+
+    def reply(self, response: DSEMessage) -> Generator[Event, Any, None]:
+        """Send a response built with :meth:`DSEMessage.make_response`."""
+        if not response.is_response:
+            raise DSEError(f"reply() called with non-response {response.msg_type}")
+        self.stats.counter("replies_sent").increment()
+        if response.dst_kernel == self.kernel.kernel_id:
+            # Deferred reply to a local requester: deliver via loopback so the
+            # waiting coroutine's socket filter picks it up.
+            self.kernel.machine.transport.loopback(
+                self.socket.port, response, response.size_bytes, src_port=self.socket.port
+            )
+            return
+        yield from self._transmit(response)
+
+    def _transmit(self, msg: DSEMessage) -> Generator[Event, Any, None]:
+        station, port = self.route_of(msg.dst_kernel)
+        self.stats.counter("bytes_out").increment(msg.size_bytes)
+        self.kernel.cluster.tracer.emit(
+            self.sim.now,
+            f"k{self.kernel.kernel_id}",
+            "send",
+            (msg.msg_type.value, msg.dst_kernel, msg.size_bytes),
+        )
+        yield from self.socket.sendto(station, port, msg, msg.size_bytes)
+
+    def _await_response(self, seq: int) -> Generator[Event, Any, DSEMessage]:
+        packet = yield from self.socket.recv(
+            filter=lambda p: isinstance(p.payload, DSEMessage)
+            and p.payload.is_response
+            and p.payload.seq == seq
+        )
+        return packet.payload
+
+    # -- incoming -----------------------------------------------------------
+    def next_request(self) -> Generator[Event, Any, DSEMessage]:
+        """Receive the next inbound *request* (service-loop side)."""
+        packet = yield from self.socket.recv(
+            filter=lambda p: isinstance(p.payload, DSEMessage) and p.payload.is_request
+        )
+        self.stats.counter("requests_received").increment()
+        msg = packet.payload
+        self.kernel.cluster.tracer.emit(
+            self.sim.now,
+            f"k{self.kernel.kernel_id}",
+            "recv",
+            (msg.msg_type.value, msg.src_kernel, msg.size_bytes),
+        )
+        return msg
+
+    def close(self) -> None:
+        self.socket.close()

@@ -1,0 +1,218 @@
+"""Global memory management module (the DSM core of DSE).
+
+The paper's system model (Figure 1) gives each Processor Element a slice of
+the Global Memory; the union of slices is the distributed shared memory the
+parallel API exposes.  This module implements the baseline **home-based**
+policy used by DSE: every word has a fixed home kernel (contiguous slices),
+reads and writes to non-home words become request/response message pairs to
+the home, and accesses to home-resident words are plain library-speed local
+operations.
+
+Addresses are in **words** (one word = one float64 = 8 bytes); a
+``block_words`` granularity exists for the caching ablation
+(:mod:`repro.dse.coherence`) and for allocator alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import GlobalMemoryError
+from ..hardware.cpu import Work
+from ..sim.core import Event
+from ..sim.monitor import StatSet
+from .messages import DSEMessage, MsgType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import DSEKernel
+
+__all__ = ["GlobalMemoryManager"]
+
+#: fixed library cost of one global-memory operation (argument checking,
+#: address translation) regardless of locality
+_GM_CALL_WORK = Work(iops=80)
+
+
+class GlobalMemoryManager:
+    """One kernel's view of the cluster-wide global memory (home policy)."""
+
+    policy_name = "home"
+
+    def __init__(self, kernel: "DSEKernel", total_words: int, block_words: int):
+        if total_words <= 0 or block_words <= 0:
+            raise GlobalMemoryError("total_words and block_words must be positive")
+        self.kernel = kernel
+        self.total_words = total_words
+        self.block_words = block_words
+        n = kernel.cluster_size
+        # Contiguous slice per kernel, rounded up to a whole number of
+        # blocks so that no block straddles two homes (required by the
+        # caching coherence policy, harmless for the home policy).
+        raw_slice = -(-total_words // n)  # ceil division
+        self.slice_words = -(-raw_slice // block_words) * block_words
+        self.my_lo = min(kernel.kernel_id * self.slice_words, total_words)
+        self.my_hi = min(self.my_lo + self.slice_words, total_words)
+        #: authoritative storage for this kernel's home slice
+        self.storage = np.zeros(self.my_hi - self.my_lo, dtype=np.float64)
+        #: bump allocator (kernel 0 is the allocation authority)
+        self._alloc_next = 0
+        self.stats = StatSet(f"gmem:k{kernel.kernel_id}")
+
+    # -- address arithmetic -------------------------------------------------
+    def home_of(self, addr: int) -> int:
+        """Home kernel of word ``addr`` (contiguous slice distribution)."""
+        self._check_addr(addr)
+        return min(addr // self.slice_words, self.kernel.cluster_size - 1)
+
+    def _check_addr(self, addr: int) -> None:
+        if not (0 <= addr < self.total_words):
+            raise GlobalMemoryError(
+                f"address {addr} outside global memory [0, {self.total_words})"
+            )
+
+    def _check_range(self, addr: int, nwords: int) -> None:
+        if nwords <= 0:
+            raise GlobalMemoryError(f"word count must be positive, got {nwords}")
+        self._check_addr(addr)
+        if addr + nwords > self.total_words:
+            raise GlobalMemoryError(
+                f"range [{addr}, {addr + nwords}) overruns global memory "
+                f"(total {self.total_words} words)"
+            )
+
+    def home_runs(self, addr: int, nwords: int) -> List[Tuple[int, int, int]]:
+        """Split ``[addr, addr+nwords)`` into per-home runs.
+
+        Returns ``(home_kernel, start_addr, count)`` triples, coalescing all
+        contiguous words with the same home into one run (one message).
+        """
+        self._check_range(addr, nwords)
+        runs: List[Tuple[int, int, int]] = []
+        pos, end = addr, addr + nwords
+        while pos < end:
+            home = min(pos // self.slice_words, self.kernel.cluster_size - 1)
+            home_hi = (
+                self.total_words
+                if home == self.kernel.cluster_size - 1
+                else (home + 1) * self.slice_words
+            )
+            take = min(end, home_hi) - pos
+            runs.append((home, pos, take))
+            pos += take
+        return runs
+
+    # -- local slice access --------------------------------------------------
+    def _local_read(self, addr: int, nwords: int) -> np.ndarray:
+        lo = addr - self.my_lo
+        return self.storage[lo : lo + nwords].copy()
+
+    def _local_write(self, addr: int, values: np.ndarray) -> None:
+        lo = addr - self.my_lo
+        self.storage[lo : lo + len(values)] = values
+
+    def _owns(self, addr: int, nwords: int) -> bool:
+        return self.my_lo <= addr and addr + nwords <= self.my_hi
+
+    # -- public API (used by the parallel API library) ------------------------
+    def read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
+        """Read ``nwords`` words starting at ``addr``."""
+        yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        out = np.empty(nwords, dtype=np.float64)
+        offset = 0
+        for home, start, count in self.home_runs(addr, nwords):
+            if home == self.kernel.kernel_id:
+                self.stats.counter("local_reads").increment()
+                yield from self.kernel.unix_process.compute(Work(mems=count))
+                out[offset : offset + count] = self._local_read(start, count)
+            else:
+                self.stats.counter("remote_reads").increment()
+                msg = DSEMessage(
+                    msg_type=MsgType.GM_READ_REQ,
+                    src_kernel=self.kernel.kernel_id,
+                    dst_kernel=home,
+                    addr=start,
+                    nwords=count,
+                )
+                rsp = yield from self.kernel.exchange.request(msg)
+                if rsp.status != "ok":
+                    raise GlobalMemoryError(f"remote read failed: {rsp.status}")
+                out[offset : offset + count] = rsp.data
+            offset += count
+        self.stats.counter("words_read").increment(nwords)
+        return out
+
+    def write(self, addr: int, values: Any) -> Generator[Event, Any, None]:
+        """Write ``values`` (array-like of float64) starting at ``addr``."""
+        data = np.asarray(values, dtype=np.float64).ravel()
+        nwords = len(data)
+        yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        offset = 0
+        for home, start, count in self.home_runs(addr, nwords):
+            chunk = data[offset : offset + count]
+            if home == self.kernel.kernel_id:
+                self.stats.counter("local_writes").increment()
+                yield from self.kernel.unix_process.compute(Work(mems=count))
+                self._local_write(start, chunk)
+            else:
+                self.stats.counter("remote_writes").increment()
+                msg = DSEMessage(
+                    msg_type=MsgType.GM_WRITE_REQ,
+                    src_kernel=self.kernel.kernel_id,
+                    dst_kernel=home,
+                    addr=start,
+                    nwords=count,
+                    data=chunk,
+                )
+                rsp = yield from self.kernel.exchange.request(msg)
+                if rsp.status != "ok":
+                    raise GlobalMemoryError(f"remote write failed: {rsp.status}")
+            offset += count
+        self.stats.counter("words_written").increment(nwords)
+
+    def alloc(self, nwords: int) -> Generator[Event, Any, int]:
+        """Allocate ``nwords`` words; kernel 0 is the allocation authority."""
+        if nwords <= 0:
+            raise GlobalMemoryError(f"allocation size must be positive, got {nwords}")
+        msg = DSEMessage(
+            msg_type=MsgType.GM_ALLOC_REQ,
+            src_kernel=self.kernel.kernel_id,
+            dst_kernel=0,
+            nwords=nwords,
+        )
+        rsp = yield from self.kernel.exchange.request(msg)
+        if rsp.status != "ok":
+            raise GlobalMemoryError(f"allocation of {nwords} words failed: {rsp.status}")
+        return rsp.addr
+
+    # -- message handlers (home side) ---------------------------------------
+    def handle_read(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        if not self._owns(msg.addr, msg.nwords):
+            return msg.make_response(status="not-home")
+        yield from self.kernel.unix_process.compute(Work(mems=msg.nwords))
+        self.stats.counter("served_reads").increment()
+        return msg.make_response(data=self._local_read(msg.addr, msg.nwords))
+
+    def handle_write(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        if not self._owns(msg.addr, msg.nwords):
+            return msg.make_response(status="not-home", nwords=0)
+        yield from self.kernel.unix_process.compute(Work(mems=msg.nwords))
+        self._local_write(msg.addr, np.asarray(msg.data, dtype=np.float64))
+        self.stats.counter("served_writes").increment()
+        return msg.make_response(nwords=0)
+
+    def handle_alloc(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        if self.kernel.kernel_id != 0:
+            return msg.make_response(status="not-allocator", nwords=0)
+        # Align allocations to block boundaries so blocks are never shared
+        # between unrelated allocations (matters for the caching ablation).
+        aligned = -(-self._alloc_next // self.block_words) * self.block_words
+        if aligned + msg.nwords > self.total_words:
+            return msg.make_response(status="out-of-memory", nwords=0)
+        self._alloc_next = aligned + msg.nwords
+        self.stats.counter("allocations").increment()
+        rsp = msg.make_response(nwords=0)
+        rsp.addr = aligned
+        return rsp
+        yield  # pragma: no cover - keeps this a generator for dispatch parity

@@ -1,0 +1,165 @@
+"""The DSE kernel (parallel processing engine).
+
+Per the paper's re-organisation (its Figures 2 and 3), the kernel is not a
+separate UNIX process but a *parallel processing library* linked into the
+application: here, one :class:`DSEKernel` owns one
+:class:`repro.osmodel.UnixProcess` inside which run (a) the kernel's
+message service loop and (b) every DSE process (parallel application
+coroutine) started on this node.  All of them share the machine's CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional, TYPE_CHECKING
+
+from ..errors import DSEError
+from ..osmodel.machine import Machine
+from ..sim.core import Event, Process
+from ..sim.monitor import StatSet
+from .exchange import MessageExchange
+from .gmem import GlobalMemoryManager
+from .messages import DSEMessage, MsgType
+from .procman import ProcessManager
+from .sync import SyncManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+__all__ = ["DSEKernel"]
+
+
+class DSEKernel:
+    """One node's DSE kernel, linked (as a library) with its DSE processes."""
+
+    def __init__(self, kernel_id: int, machine: Machine, cluster: "Cluster"):
+        self.kernel_id = kernel_id
+        self.machine = machine
+        self.cluster = cluster
+        self.sim = machine.sim
+        self._shutdown = False
+        self.stats = StatSet(f"kernel:{kernel_id}")
+        #: extension services: message type -> handler (see register_service)
+        self.services: Dict[MsgType, Callable[[DSEMessage], Generator]] = {}
+
+        # The one UNIX process holding kernel + DSE processes (paper Fig. 2).
+        self.unix_process = machine.spawn(self._body, name=f"dse-k{kernel_id}")
+        self.exchange = MessageExchange(self)
+        self.gmem: GlobalMemoryManager = cluster.make_gmem(self)
+        self.sync = SyncManager(self)
+        self.procman = ProcessManager(self)
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def cluster_size(self) -> int:
+        return self.cluster.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DSEKernel {self.kernel_id} on {self.machine.hostname}>"
+
+    # -- service loop --------------------------------------------------------
+    def _body(self, proc) -> Generator[Event, Any, None]:
+        """UNIX-process body: run the message service loop until shutdown."""
+        while not self._shutdown:
+            msg = yield from self.exchange.next_request()
+            self.stats.counter("requests_served").increment()
+            if msg.msg_type is MsgType.SHUTDOWN_REQ:
+                self._shutdown = True
+                yield from self.exchange.reply(msg.make_response())
+                break
+            # Handle each request in its own coroutine so a long or blocking
+            # handler (deferred lock, nested coherence RPC) never stalls the
+            # service loop — the no-head-of-line-blocking property the paper
+            # gets from asynchronous I/O interruption.
+            self.sim.process(self._handle(msg), name=f"k{self.kernel_id}.h{msg.seq}")
+
+    def _handle(self, msg: DSEMessage) -> Generator[Event, Any, None]:
+        response = yield from self.dispatch(msg)
+        if response is not None:
+            yield from self.exchange.reply(response)
+
+    def dispatch(self, msg: DSEMessage) -> Generator[Event, Any, Optional[DSEMessage]]:
+        """Route a request to the owning module; returns the response or
+        ``None`` when the reply is deferred (lock queues, barriers)."""
+        t = msg.msg_type
+        if t is MsgType.GM_READ_REQ:
+            return (yield from self.gmem.handle_read(msg))
+        if t is MsgType.GM_WRITE_REQ:
+            return (yield from self.gmem.handle_write(msg))
+        if t is MsgType.GM_ALLOC_REQ:
+            return (yield from self.gmem.handle_alloc(msg))
+        if t in (
+            MsgType.GM_FETCH_REQ,
+            MsgType.GM_OWN_REQ,
+            MsgType.GM_INV_REQ,
+            MsgType.GM_WB_REQ,
+        ):
+            handler = getattr(self.gmem, "handle_coherence", None)
+            if handler is None:
+                raise DSEError(
+                    f"{t} requires the caching coherence policy "
+                    f"(configured: {self.gmem.policy_name})"
+                )
+            return (yield from handler(msg))
+        if t is MsgType.LOCK_REQ:
+            return (yield from self.sync.handle_lock(msg))
+        if t is MsgType.UNLOCK_REQ:
+            return (yield from self.sync.handle_unlock(msg))
+        if t is MsgType.BARRIER_REQ:
+            return (yield from self.sync.handle_barrier(msg))
+        if t is MsgType.PROC_START_REQ:
+            return (yield from self.procman.handle_start(msg))
+        if t is MsgType.PROC_DONE:
+            return (yield from self.procman.handle_done(msg))
+        if t is MsgType.SSI_INFO_REQ:
+            return self.cluster.ssi_info_response(self, msg)
+        service = self.services.get(t)
+        if service is not None:
+            return (yield from service(msg))
+        raise DSEError(f"kernel {self.kernel_id} cannot dispatch {t}")
+
+    def register_service(
+        self, msg_type: MsgType, handler: Callable[[DSEMessage], Generator]
+    ) -> None:
+        """Install a handler for an extension message type (SSI services).
+
+        The handler is a generator taking the request and returning the
+        response message (or ``None`` for deferred replies).
+        """
+        if msg_type in self.services:
+            raise DSEError(f"service for {msg_type} already registered")
+        self.services[msg_type] = handler
+
+    # -- DSE processes ---------------------------------------------------------
+    def start_dse_process(
+        self, entry: Callable, rank: int, args: tuple, invoker: int
+    ) -> Process:
+        """Start a DSE process (application coroutine) on this kernel."""
+        from .api import ParallelAPI  # local import: api imports kernel types
+
+        api = ParallelAPI(self, rank)
+
+        def run() -> Generator[Event, Any, Any]:
+            value = yield from entry(api, *args)
+            yield from self.procman.notify_done(rank, invoker, value)
+            return value
+
+        self.stats.counter("dse_processes").increment()
+        return self.sim.process(run(), name=f"dse-proc:r{rank}")
+
+    # -- shutdown --------------------------------------------------------------
+    def request_shutdown_of(self, target: int) -> Generator[Event, Any, None]:
+        """Stop ``target``'s service loop (used by the runtime at teardown)."""
+        msg = DSEMessage(
+            msg_type=MsgType.SHUTDOWN_REQ,
+            src_kernel=self.kernel_id,
+            dst_kernel=target,
+        )
+        if target == self.kernel_id:
+            # Deliver through our own socket so the service loop sees it.
+            self.machine.transport.loopback(
+                self.exchange.socket.port, msg, msg.size_bytes,
+                src_port=self.exchange.socket.port,
+            )
+            yield from self.exchange._await_response(msg.seq)
+        else:
+            yield from self.exchange.request(msg)

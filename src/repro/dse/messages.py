@@ -1,0 +1,159 @@
+"""DSE message formats.
+
+The paper's parallel API library contains a "global memory access request
+message create module" and a "response message analyze module"; this module
+is both — it defines every message the DSE kernels exchange and the size
+accounting the transport charges for them.
+
+All payloads ride as Python objects; ``size_bytes`` is the *accounted* wire
+size (header + 8 bytes per global-memory word + per-field extras), which is
+what the protocol and link layers use for timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from itertools import count
+from typing import Any, Optional, Tuple
+
+__all__ = ["MsgType", "DSEMessage", "HEADER_BYTES", "WORD_BYTES", "is_request", "is_response"]
+
+#: fixed DSE message header: type, seq, src, dst, addr/len fields
+HEADER_BYTES = 32
+#: global memory word (one float64)
+WORD_BYTES = 8
+
+_seqs = count(1)
+
+
+class MsgType(Enum):
+    """Every message the DSE kernel understands."""
+
+    # global memory management module
+    GM_READ_REQ = "gm_read_req"
+    GM_READ_RSP = "gm_read_rsp"
+    GM_WRITE_REQ = "gm_write_req"
+    GM_WRITE_RSP = "gm_write_rsp"
+    GM_ALLOC_REQ = "gm_alloc_req"
+    GM_ALLOC_RSP = "gm_alloc_rsp"
+    # coherence (write-invalidate ablation)
+    GM_FETCH_REQ = "gm_fetch_req"  # fetch block copy (shared)
+    GM_FETCH_RSP = "gm_fetch_rsp"
+    GM_OWN_REQ = "gm_own_req"  # fetch exclusive ownership
+    GM_OWN_RSP = "gm_own_rsp"
+    GM_INV_REQ = "gm_inv_req"  # invalidate a cached copy
+    GM_INV_RSP = "gm_inv_rsp"
+    GM_WB_REQ = "gm_wb_req"  # write a dirty block back to home
+    GM_WB_RSP = "gm_wb_rsp"
+    # synchronisation
+    LOCK_REQ = "lock_req"
+    LOCK_RSP = "lock_rsp"
+    UNLOCK_REQ = "unlock_req"
+    UNLOCK_RSP = "unlock_rsp"
+    BARRIER_REQ = "barrier_req"
+    BARRIER_RSP = "barrier_rsp"
+    # parallel process management module
+    PROC_START_REQ = "proc_start_req"
+    PROC_START_RSP = "proc_start_rsp"
+    PROC_DONE = "proc_done"  # one-way notification to the invoking kernel
+    SHUTDOWN_REQ = "shutdown_req"
+    SHUTDOWN_RSP = "shutdown_rsp"
+    # SSI services
+    SSI_INFO_REQ = "ssi_info_req"
+    SSI_INFO_RSP = "ssi_info_rsp"
+    KV_PUT_REQ = "kv_put_req"
+    KV_PUT_RSP = "kv_put_rsp"
+    KV_GET_REQ = "kv_get_req"
+    KV_GET_RSP = "kv_get_rsp"
+    KV_DEL_REQ = "kv_del_req"
+    KV_DEL_RSP = "kv_del_rsp"
+    KV_LIST_REQ = "kv_list_req"
+    KV_LIST_RSP = "kv_list_rsp"
+
+
+_REQUESTS = {t for t in MsgType if t.value.endswith("_req")} | {MsgType.PROC_DONE}
+_RESPONSES = {t for t in MsgType if t.value.endswith("_rsp")}
+
+#: request type -> its response type
+RESPONSE_OF = {
+    t: MsgType(t.value[:-4] + "_rsp") for t in MsgType if t.value.endswith("_req")
+}
+
+
+def is_request(t: MsgType) -> bool:
+    return t in _REQUESTS
+
+
+def is_response(t: MsgType) -> bool:
+    return t in _RESPONSES
+
+
+@dataclass
+class DSEMessage:
+    """One kernel-to-kernel message."""
+
+    msg_type: MsgType
+    src_kernel: int
+    dst_kernel: int
+    #: word address and word count for GM ops; (name,) for sync ops; etc.
+    addr: int = 0
+    nwords: int = 0
+    name: str = ""
+    data: Any = None  # numpy array of words, job payload, return value, ...
+    status: str = "ok"
+    seq: int = field(default_factory=lambda: next(_seqs))
+    #: extra accounted bytes beyond header+data (e.g. pickled job payloads)
+    extra_bytes: int = 0
+
+    @property
+    def is_request(self) -> bool:
+        return is_request(self.msg_type)
+
+    @property
+    def is_response(self) -> bool:
+        return is_response(self.msg_type)
+
+    @property
+    def size_bytes(self) -> int:
+        data_words = self.nwords if self._carries_words() else 0
+        return HEADER_BYTES + data_words * WORD_BYTES + self.extra_bytes + len(self.name)
+
+    def _carries_words(self) -> bool:
+        """Word payload rides on write/fetch requests and read responses."""
+        return self.msg_type in (
+            MsgType.GM_WRITE_REQ,
+            MsgType.GM_READ_RSP,
+            MsgType.GM_FETCH_RSP,
+            MsgType.GM_OWN_RSP,
+            MsgType.GM_WB_REQ,
+        )
+
+    def make_response(
+        self,
+        data: Any = None,
+        nwords: Optional[int] = None,
+        status: str = "ok",
+        extra_bytes: int = 0,
+    ) -> "DSEMessage":
+        """Build the matching response (same seq, reversed direction)."""
+        if not self.is_request or self.msg_type not in RESPONSE_OF:
+            raise ValueError(f"cannot respond to {self.msg_type}")
+        return DSEMessage(
+            msg_type=RESPONSE_OF[self.msg_type],
+            src_kernel=self.dst_kernel,
+            dst_kernel=self.src_kernel,
+            addr=self.addr,
+            nwords=self.nwords if nwords is None else nwords,
+            name=self.name,
+            data=data,
+            status=status,
+            seq=self.seq,
+            extra_bytes=extra_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<DSE {self.msg_type.value} #{self.seq} k{self.src_kernel}->k{self.dst_kernel}"
+            f" addr={self.addr} n={self.nwords}>"
+        )

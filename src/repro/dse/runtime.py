@@ -1,0 +1,99 @@
+"""High-level runners: SPMD and master/worker execution on a DSE cluster.
+
+``run_parallel`` is the one-call entry point the applications and the
+experiment harness use: build the cluster, run one DSE process per kernel
+(SPMD), collect return values, tear the kernels down, and report elapsed
+*simulated* time plus the explanatory statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..errors import DSEError
+from ..sim.core import Event
+from .api import ParallelAPI
+from .cluster import Cluster
+from .config import ClusterConfig
+
+__all__ = ["RunResult", "run_parallel", "run_master"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one parallel run."""
+
+    elapsed: float  # simulated seconds, master start -> all workers done
+    returns: Dict[int, Any]  # rank -> return value
+    stats: Dict[str, float] = field(default_factory=dict)
+    sim_events: int = 0
+    config: Optional[ClusterConfig] = None
+    #: the (finished) cluster, for post-mortem inspection/profiling
+    cluster: Optional[Cluster] = None
+
+    @property
+    def master_return(self) -> Any:
+        return self.returns.get(0)
+
+
+def run_master(
+    config: ClusterConfig,
+    master: Callable[[ParallelAPI], Generator],
+    args: tuple = (),
+) -> RunResult:
+    """Run ``master(api, *args)`` as the parallel application on kernel 0.
+
+    The master is responsible for spawning workers itself (via
+    ``api.spawn_workers``); its return value appears as rank 0's.
+    """
+    cluster = Cluster(config)
+    outcome: Dict[str, Any] = {}
+
+    def driver() -> Generator[Event, Any, None]:
+        api = ParallelAPI(cluster.kernel(0), 0)
+        start = api.now
+        value = yield from master(api, *args)
+        outcome["elapsed"] = api.now - start
+        outcome["returns"] = {0: value}
+        yield from cluster.shutdown_from(0)
+
+    cluster.sim.process(driver(), name="dse-master")
+    cluster.sim.run_all()
+    if "returns" not in outcome:
+        raise DSEError("master did not complete (deadlock or early drain)")
+    return RunResult(
+        elapsed=outcome["elapsed"],
+        returns=outcome["returns"],
+        stats=cluster.stats_snapshot(),
+        sim_events=cluster.sim.events_processed,
+        config=config,
+        cluster=cluster,
+    )
+
+
+def run_parallel(
+    config: ClusterConfig,
+    worker: Callable[..., Generator],
+    args: tuple = (),
+    args_of: Optional[Callable[[int], tuple]] = None,
+) -> RunResult:
+    """SPMD execution: ``worker(api, *args)`` runs once on every kernel.
+
+    ``args_of(rank)`` overrides ``args`` per rank when given.  Returns the
+    per-rank return values and cluster statistics.
+    """
+
+    def master(api: ParallelAPI) -> Generator[Event, Any, Dict[int, Any]]:
+        handles = yield from api.spawn_workers(
+            worker, args_of=args_of if args_of else (lambda rank: args)
+        )
+        my_value = yield from worker(api, *(args_of(0) if args_of else args))
+        results = yield from api.wait_workers(handles)
+        results[0] = my_value
+        return results
+
+    result = run_master(config, master)
+    results = result.returns[0]
+    result.returns = results
+    return result

@@ -1,0 +1,142 @@
+"""Distributed synchronisation: locks and barriers over DSE messages.
+
+Locks are homed by name hash across the kernels; barriers are coordinated
+by kernel 0.  Contended lock requests and early barrier arrivals are held
+as *deferred replies* — the response message goes out when the lock frees
+or the last party arrives, which is what suspends the requesting process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, TYPE_CHECKING
+
+from ..errors import DSEError
+from ..sim.core import Event
+from ..sim.monitor import StatSet
+from .messages import DSEMessage, MsgType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import DSEKernel
+
+__all__ = ["SyncManager"]
+
+
+class _LockState:
+    __slots__ = ("held_by", "waiters")
+
+    def __init__(self) -> None:
+        self.held_by: int = -1  # kernel id, -1 = free
+        self.waiters: List[DSEMessage] = []
+
+
+class _BarrierState:
+    __slots__ = ("arrived", "generation")
+
+    def __init__(self) -> None:
+        self.arrived: List[DSEMessage] = []
+        self.generation = 0
+
+
+class SyncManager:
+    """One kernel's synchronisation module (client + server sides)."""
+
+    def __init__(self, kernel: "DSEKernel"):
+        self.kernel = kernel
+        self._locks: Dict[str, _LockState] = {}
+        self._barriers: Dict[str, _BarrierState] = {}
+        self.stats = StatSet(f"sync:k{kernel.kernel_id}")
+
+    # -- placement -----------------------------------------------------------
+    def lock_home(self, name: str) -> int:
+        """Deterministic home kernel for a named lock."""
+        return sum(name.encode()) % self.kernel.cluster_size
+
+    # -- client side ----------------------------------------------------------
+    def acquire(self, name: str) -> Generator[Event, Any, None]:
+        msg = DSEMessage(
+            msg_type=MsgType.LOCK_REQ,
+            src_kernel=self.kernel.kernel_id,
+            dst_kernel=self.lock_home(name),
+            name=name,
+        )
+        rsp = yield from self.kernel.exchange.request(msg)
+        if rsp.status != "ok":
+            raise DSEError(f"lock acquire {name!r} failed: {rsp.status}")
+        self.stats.counter("acquires").increment()
+
+    def release(self, name: str) -> Generator[Event, Any, None]:
+        msg = DSEMessage(
+            msg_type=MsgType.UNLOCK_REQ,
+            src_kernel=self.kernel.kernel_id,
+            dst_kernel=self.lock_home(name),
+            name=name,
+        )
+        rsp = yield from self.kernel.exchange.request(msg)
+        if rsp.status != "ok":
+            raise DSEError(f"lock release {name!r} failed: {rsp.status}")
+        self.stats.counter("releases").increment()
+
+    def barrier(self, name: str, parties: int) -> Generator[Event, Any, None]:
+        if parties <= 0:
+            raise DSEError(f"barrier parties must be positive, got {parties}")
+        msg = DSEMessage(
+            msg_type=MsgType.BARRIER_REQ,
+            src_kernel=self.kernel.kernel_id,
+            dst_kernel=0,
+            name=name,
+            nwords=0,
+            addr=parties,  # parties rides in the addr field
+        )
+        rsp = yield from self.kernel.exchange.request(msg)
+        if rsp.status != "ok":
+            raise DSEError(f"barrier {name!r} failed: {rsp.status}")
+        self.stats.counter("barriers").increment()
+
+    # -- server side -----------------------------------------------------------
+    def handle_lock(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        state = self._locks.setdefault(msg.name, _LockState())
+        if state.held_by == -1:
+            state.held_by = msg.src_kernel
+            self.stats.counter("grants_immediate").increment()
+            return msg.make_response()
+        if state.held_by == msg.src_kernel:
+            return msg.make_response(status="already-held")
+        state.waiters.append(msg)
+        self.stats.counter("grants_deferred").increment()
+        return None  # deferred: reply sent by handle_unlock
+        yield  # pragma: no cover - generator parity
+
+    def handle_unlock(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        state = self._locks.get(msg.name)
+        if state is None or state.held_by == -1:
+            return msg.make_response(status="not-held")
+        if state.held_by != msg.src_kernel:
+            return msg.make_response(status="not-owner")
+        if state.waiters:
+            nxt = state.waiters.pop(0)
+            state.held_by = nxt.src_kernel
+            # Wake the queued requester with its (long-deferred) grant.
+            yield from self.kernel.exchange.reply(nxt.make_response())
+        else:
+            state.held_by = -1
+        return msg.make_response()
+
+    def handle_barrier(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        parties = msg.addr
+        state = self._barriers.setdefault(msg.name, _BarrierState())
+        state.arrived.append(msg)
+        if len(state.arrived) < parties:
+            return None  # deferred: released by the last arrival
+        # Last party: release everyone (the last requester's own response is
+        # returned, the rest are sent explicitly).
+        arrived, state.arrived = state.arrived, []
+        state.generation += 1
+        self.stats.counter("barrier_releases").increment()
+        for waiting in arrived[:-1]:
+            yield from self.kernel.exchange.reply(waiting.make_response())
+        return arrived[-1].make_response()
+
+    # -- introspection ------------------------------------------------------
+    def lock_queue_length(self, name: str) -> int:
+        state = self._locks.get(name)
+        return len(state.waiters) if state else 0

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the DSE reproduction."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NetworkError",
+    "ProtocolError",
+    "OSModelError",
+    "DSEError",
+    "GlobalMemoryError",
+    "ProcessManagementError",
+    "SSIError",
+    "ApplicationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid cluster / platform / experiment configuration."""
+
+
+class NetworkError(ReproError):
+    """Link-layer failures (frame too large, unknown station, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Transport-layer failures (port in use, datagram too large, ...)."""
+
+
+class OSModelError(ReproError):
+    """OS-model failures (unknown pid, signal to dead process, ...)."""
+
+
+class DSEError(ReproError):
+    """Errors raised by the DSE runtime."""
+
+
+class GlobalMemoryError(DSEError):
+    """Out-of-range or misaligned global memory access, allocation failure."""
+
+
+class ProcessManagementError(DSEError):
+    """Parallel process invocation/termination failures."""
+
+
+class SSIError(ReproError):
+    """Single-system-image layer failures (unknown global pid, ...)."""
+
+
+class ApplicationError(ReproError):
+    """Errors raised by the bundled parallel applications."""

@@ -1,0 +1,58 @@
+"""Experiment harness: per-figure drivers, shape checks, CLI."""
+
+from .checks import check_figure
+from .figures import (
+    DCT_BLOCKS,
+    FIGURES,
+    FigureData,
+    GS_DIMENSIONS,
+    KT_JOBS,
+    OTHELLO_DEPTHS,
+    dct2_figures,
+    gauss_seidel_figures,
+    knights_tour_figure,
+    othello_figure,
+    table1,
+)
+from .harness import DEFAULT_PROCS, Measurement, measure_point, sweep_processors
+from .plot import ascii_plot, plot_figure
+from .profile import RunProfile, profile_result
+from .sensitivity import (
+    bandwidth_sensitivity,
+    peak_of,
+    protocol_sensitivity,
+    scaled_platform,
+    speedup_curve,
+)
+from .timeline import event_log, message_census, render_timeline
+
+__all__ = [
+    "check_figure",
+    "DCT_BLOCKS",
+    "FIGURES",
+    "FigureData",
+    "GS_DIMENSIONS",
+    "KT_JOBS",
+    "OTHELLO_DEPTHS",
+    "dct2_figures",
+    "gauss_seidel_figures",
+    "knights_tour_figure",
+    "othello_figure",
+    "table1",
+    "DEFAULT_PROCS",
+    "Measurement",
+    "measure_point",
+    "sweep_processors",
+    "ascii_plot",
+    "plot_figure",
+    "RunProfile",
+    "profile_result",
+    "event_log",
+    "message_census",
+    "render_timeline",
+    "bandwidth_sensitivity",
+    "peak_of",
+    "protocol_sensitivity",
+    "scaled_platform",
+    "speedup_curve",
+]

@@ -1,0 +1,108 @@
+"""Shape checks: do regenerated figures reproduce the paper's findings?
+
+Each check encodes one claim from the paper's prose as a predicate over a
+:class:`FigureData`.  The benchmark harness runs them and reports pass/fail
+next to the data — this is the "who wins, by roughly what factor, where
+crossovers fall" validation, not absolute-number matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .figures import FigureData
+
+__all__ = ["check_figure", "ShapeCheck"]
+
+ShapeCheck = Tuple[str, bool]
+
+
+def _peak(xs: List, ys: List[float]) -> Tuple[int, float]:
+    i = max(range(len(ys)), key=lambda k: ys[k])
+    return xs[i], ys[i]
+
+
+def _speedups_from_times(fig: FigureData) -> Dict[str, List[float]]:
+    return {k: [v[0] / t for t in v] for k, v in fig.series.items()}
+
+
+def check_gs_speedup(fig: FigureData) -> List[ShapeCheck]:
+    """Paper: small N collapses; N >= 700 improves through 5-6 processors;
+    every N degrades beyond 6 (virtual cluster)."""
+    checks: List[ShapeCheck] = []
+    xs = fig.x_values
+    small = fig.series.get("N=100")
+    big = fig.series.get("N=900") or fig.series[max(fig.series)]
+    if small:
+        checks.append(("N=100 shows no speed-up at 6 processors", small[xs.index(6)] < 1.0))
+    peak_x, peak_v = _peak(xs, big)
+    checks.append((f"largest N peaks at 4-6 processors (peak at {peak_x})", 4 <= peak_x <= 6))
+    checks.append((f"largest N peak speed-up > 2 (got {peak_v:.2f})", peak_v > 2.0))
+    checks.append(
+        ("largest N degrades beyond 6 processors", big[xs.index(8)] < big[xs.index(6)])
+    )
+    return checks
+
+
+def check_dct_speedup(fig: FigureData) -> List[ShapeCheck]:
+    """Paper: 2x2 blocks show no speed-up improvement; larger blocks do,
+    best for the largest block size."""
+    xs = fig.x_values
+    s2, s8 = fig.series["2x2"], fig.series["8x8"]
+    s4 = fig.series["4x4"]
+    checks = [
+        ("2x2 never exceeds 2x (no useful speed-up)", max(s2) < 2.0),
+        ("8x8 exceeds 2.5x", max(s8) > 2.5),
+        ("8x8 beats 4x4 beats 2x2 at 6 processors",
+         s8[xs.index(6)] > s4[xs.index(6)] > s2[xs.index(6)]),
+    ]
+    return checks
+
+
+def check_othello_speedup(fig: FigureData) -> List[ShapeCheck]:
+    """Paper: shallow depths show no improvement; deeper depths do."""
+    xs = fig.x_values
+    shallow = fig.series[min(fig.series)]  # Depth3
+    deep = fig.series[max(fig.series)]  # Depth7/8
+    checks = [
+        ("shallowest depth shows no improvement", max(shallow[1:]) < 1.0),
+        (f"deepest depth speeds up >2.5x (got {max(deep):.2f})", max(deep) > 2.5),
+        ("deepest depth keeps improving past 2 processors",
+         deep[xs.index(6)] > deep[xs.index(2)]),
+    ]
+    return checks
+
+
+def check_kt_time(fig: FigureData) -> List[ShapeCheck]:
+    """Paper: a middling job count is most efficient, the largest count is
+    least efficient; midrange improves to ~5-6 processors then declines."""
+    xs = fig.x_values
+    speed = _speedups_from_times(fig)
+    names = sorted(fig.series, key=lambda s: int(s.split("_")[0]))
+    small, mid, large = names[0], names[1], names[-1]
+    best_at_6 = {k: v[xs.index(6)] for k, v in speed.items()}
+    checks = [
+        (f"midrange jobs ({mid}) most efficient at 6 procs",
+         best_at_6[mid] == max(best_at_6.values())),
+        (f"largest job count ({large}) least efficient at 6 procs",
+         best_at_6[large] == min(best_at_6.values())),
+        ("midrange declines beyond 6 processors",
+         speed[mid][xs.index(8)] < speed[mid][xs.index(6)]),
+        (f"midrange peak speed-up > 3 (got {max(speed[mid]):.2f})",
+         max(speed[mid]) > 3.0),
+    ]
+    return checks
+
+
+def check_figure(fig: FigureData) -> List[ShapeCheck]:
+    """Dispatch to the right shape check for a figure id."""
+    n = int(fig.fig_id.replace("fig", "")) if fig.fig_id.startswith("fig") else 0
+    if n in (5, 7, 9):
+        return check_gs_speedup(fig)
+    if n in (11, 13, 15):
+        return check_dct_speedup(fig)
+    if n in (16, 17, 18):
+        return check_othello_speedup(fig)
+    if n in (19, 20, 21):
+        return check_kt_time(fig)
+    return []

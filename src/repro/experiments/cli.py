@@ -1,0 +1,75 @@
+"""Command-line entry point: regenerate any figure of the paper.
+
+Installed as ``dse-experiments``::
+
+    dse-experiments --list
+    dse-experiments table1 fig5 fig11
+    dse-experiments all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from .checks import check_figure
+from .figures import FIGURES
+
+__all__ = ["main"]
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dse-experiments",
+        description="Regenerate the tables/figures of the DSE/SSI paper (ICPP 1999).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help="figure ids (table1, fig4..fig21) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available figure ids")
+    parser.add_argument(
+        "--fast", action="store_true", help="smaller parameter grid (quick look)"
+    )
+    parser.add_argument(
+        "--no-checks", action="store_true", help="skip the paper-shape checks"
+    )
+    parser.add_argument(
+        "--plot", action="store_true", help="also draw each figure as an ASCII chart"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.figures:
+        print("available figures:", " ".join(FIGURES))
+        return 0
+
+    wanted = list(FIGURES) if "all" in args.figures else args.figures
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure id(s): {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for fig_id in wanted:
+        start = time.time()
+        fig = FIGURES[fig_id](fast=args.fast)
+        print(fig.to_text())
+        if args.plot and fig_id != "table1":
+            from .plot import plot_figure
+
+            print()
+            print(plot_figure(fig))
+        if not args.no_checks:
+            for description, ok in check_figure(fig):
+                status = "PASS" if ok else "FAIL"
+                print(f"  [{status}] {description}")
+                failures += 0 if ok else 1
+        print(f"  ({time.time() - start:.1f}s wall)\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

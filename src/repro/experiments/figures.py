@@ -1,0 +1,202 @@
+"""Per-figure experiment definitions (the paper's Figures 4-21 + Table 1).
+
+Each function regenerates the data behind one (or one platform-group of)
+figure(s); :data:`FIGURES` maps figure ids to runnable specs.  Parameters
+reconstruct the paper's where the scan lost them (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..apps.dct2 import dct2_worker
+from ..apps.gauss_seidel import gauss_seidel_worker
+from ..apps.knights_tour import knights_tour_worker
+from ..apps.othello import othello_worker
+from ..hardware.platforms import get_platform, table1_rows
+from .harness import DEFAULT_PROCS, sweep_processors
+
+__all__ = [
+    "FigureData",
+    "gauss_seidel_figures",
+    "dct2_figures",
+    "othello_figure",
+    "knights_tour_figure",
+    "table1",
+    "FIGURES",
+    "GS_DIMENSIONS",
+    "DCT_BLOCKS",
+    "OTHELLO_DEPTHS",
+    "KT_JOBS",
+]
+
+#: reconstructed workload parameters (the scan lost the numerals)
+GS_DIMENSIONS = (100, 300, 500, 700, 900)
+GS_DIMENSIONS_FAST = (100, 500, 900)
+DCT_IMAGE = 128
+DCT_BLOCKS = (2, 4, 8)
+OTHELLO_DEPTHS = (3, 4, 5, 6, 7, 8)
+OTHELLO_DEPTHS_FAST = (3, 5, 7)
+KT_JOBS = (8, 32, 128, 512)
+
+
+@dataclass
+class FigureData:
+    """The rows/series behind one figure."""
+
+    fig_id: str
+    title: str
+    x_label: str
+    x_values: List
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        from ..util.tables import render_series
+
+        return render_series(
+            self.x_label, self.x_values, self.series, title=f"[{self.fig_id}] {self.title}"
+        )
+
+    def speedup_variant(self, fig_id: str, title: str) -> "FigureData":
+        """Derive the paired speed-up figure (T(1)/T(p) per series)."""
+        out = FigureData(fig_id, title, self.x_label, list(self.x_values))
+        for name, times in self.series.items():
+            base = times[0]
+            out.series[name] = [base / t if t > 0 else float("nan") for t in times]
+        return out
+
+
+def _procs(fast: bool) -> Sequence[int]:
+    return (1, 2, 4, 6, 8, 12) if fast else DEFAULT_PROCS
+
+
+# ------------------------------------------------------------------ Table 1
+def table1() -> FigureData:
+    data = FigureData(
+        "table1", "Experiment environments", "machine", [r[0] for r in table1_rows()]
+    )
+    data.series["platform/OS"] = [r[1] for r in table1_rows()]  # type: ignore[assignment]
+    data.series["cpu"] = [r[2] for r in table1_rows()]  # type: ignore[assignment]
+    return data
+
+
+# ------------------------------------------------------ Figures 4-9: Gauss-Seidel
+def gauss_seidel_figures(
+    platform_key: str, fast: bool = False
+) -> Tuple[FigureData, FigureData]:
+    """Execution time + speed-up of Gauss-Seidel on one platform."""
+    platform = get_platform(platform_key)
+    procs = list(_procs(fast))
+    dims = GS_DIMENSIONS_FAST if fast else GS_DIMENSIONS
+    sweeps = 5 if fast else 10
+    fig_no = {"sunos": (4, 5), "aix": (6, 7), "linux": (8, 9)}[platform_key]
+    time_fig = FigureData(
+        f"fig{fig_no[0]}",
+        f"Gauss-Seidel Method on {platform.name} (execution time, s)",
+        "processors",
+        procs,
+    )
+    for n in dims:
+        ms = sweep_processors(
+            platform, gauss_seidel_worker, (n, sweeps, 7, False), procs
+        )
+        time_fig.series[f"N={n}"] = [m.elapsed for m in ms]
+    speed_fig = time_fig.speedup_variant(
+        f"fig{fig_no[1]}", f"Speed-up of Gauss-Seidel Method on {platform.name}"
+    )
+    return time_fig, speed_fig
+
+
+# ------------------------------------------------------ Figures 10-15: DCT-II
+def dct2_figures(
+    platform_key: str, fast: bool = False
+) -> Tuple[FigureData, FigureData]:
+    platform = get_platform(platform_key)
+    procs = list(_procs(fast))
+    size = 64 if fast else DCT_IMAGE
+    fig_no = {"sunos": (10, 11), "aix": (12, 13), "linux": (14, 15)}[platform_key]
+    time_fig = FigureData(
+        f"fig{fig_no[0]}",
+        f"DCT-II on {platform.name} ({size}x{size} image, 25% kept; execution time, s)",
+        "processors",
+        procs,
+    )
+    for b in DCT_BLOCKS:
+        ms = sweep_processors(
+            platform, dct2_worker, (size, b, 0.25, 11, False), procs
+        )
+        time_fig.series[f"{b}x{b}"] = [m.elapsed for m in ms]
+    speed_fig = time_fig.speedup_variant(
+        f"fig{fig_no[1]}", f"Speed-up of DCT-II on {platform.name}"
+    )
+    return time_fig, speed_fig
+
+
+# ------------------------------------------------------ Figures 16-18: Othello
+def othello_figure(platform_key: str, fast: bool = False) -> FigureData:
+    platform = get_platform(platform_key)
+    procs = list(_procs(fast))
+    depths = OTHELLO_DEPTHS_FAST if fast else OTHELLO_DEPTHS
+    fig_no = {"sunos": 16, "aix": 17, "linux": 18}[platform_key]
+    fig = FigureData(
+        f"fig{fig_no}",
+        f"Speed-up of Othello Game on {platform.name}",
+        "processors",
+        procs,
+    )
+    for depth in depths:
+        ms = sweep_processors(platform, othello_worker, (depth,), procs)
+        base = ms[0].elapsed
+        fig.series[f"Depth{depth}"] = [base / m.elapsed for m in ms]
+    return fig
+
+
+# ------------------------------------------------ Figures 19-21: Knight's Tour
+def knights_tour_figure(platform_key: str, fast: bool = False) -> FigureData:
+    platform = get_platform(platform_key)
+    procs = list(_procs(fast))
+    fig_no = {"sunos": 19, "aix": 20, "linux": 21}[platform_key]
+    fig = FigureData(
+        f"fig{fig_no}",
+        f"Knight's Tour Problem on {platform.name} (execution time, s)",
+        "processors",
+        procs,
+    )
+    for jobs in KT_JOBS:
+        ms = sweep_processors(platform, knights_tour_worker, (jobs,), procs)
+        fig.series[f"{jobs}_Jobs"] = [m.elapsed for m in ms]
+    return fig
+
+
+# ------------------------------------------------------------------ registry
+def _gs(platform_key: str, which: int) -> Callable[[bool], FigureData]:
+    return lambda fast=False: gauss_seidel_figures(platform_key, fast)[which]
+
+
+def _dct(platform_key: str, which: int) -> Callable[[bool], FigureData]:
+    return lambda fast=False: dct2_figures(platform_key, fast)[which]
+
+
+#: figure id -> callable(fast) -> FigureData
+FIGURES: Dict[str, Callable[..., FigureData]] = {
+    "table1": lambda fast=False: table1(),
+    "fig4": _gs("sunos", 0),
+    "fig5": _gs("sunos", 1),
+    "fig6": _gs("aix", 0),
+    "fig7": _gs("aix", 1),
+    "fig8": _gs("linux", 0),
+    "fig9": _gs("linux", 1),
+    "fig10": _dct("sunos", 0),
+    "fig11": _dct("sunos", 1),
+    "fig12": _dct("aix", 0),
+    "fig13": _dct("aix", 1),
+    "fig14": _dct("linux", 0),
+    "fig15": _dct("linux", 1),
+    "fig16": lambda fast=False: othello_figure("sunos", fast),
+    "fig17": lambda fast=False: othello_figure("aix", fast),
+    "fig18": lambda fast=False: othello_figure("linux", fast),
+    "fig19": lambda fast=False: knights_tour_figure("sunos", fast),
+    "fig20": lambda fast=False: knights_tour_figure("aix", fast),
+    "fig21": lambda fast=False: knights_tour_figure("linux", fast),
+}

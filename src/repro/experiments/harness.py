@@ -1,0 +1,71 @@
+"""Measurement harness: run an application across processor counts.
+
+Times are the *simulated* parallel execution time of the processing phase
+(max over ranks of ``t1 - t0``, the markers every application worker
+returns), exactly what the paper plots; speed-up is against the same
+program on one processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from ..dse.config import ClusterConfig
+from ..dse.runtime import RunResult, run_parallel
+from ..hardware.platform import PlatformSpec
+
+__all__ = ["Measurement", "measure_point", "sweep_processors", "DEFAULT_PROCS"]
+
+#: the paper sweeps 1..12 processors on 6 machines; this grid keeps every
+#: regime (1, the 6-machine knee, and the doubled-up virtual cluster)
+DEFAULT_PROCS = (1, 2, 4, 6, 8, 10, 12)
+
+
+@dataclass
+class Measurement:
+    """One (platform, processors, workload) timing point."""
+
+    platform: str
+    n_processors: int
+    elapsed: float
+    stats: Dict[str, float] = field(default_factory=dict)
+    returns: Optional[Dict[int, Any]] = None
+
+
+def measure_point(
+    platform: PlatformSpec,
+    worker: Callable[..., Generator],
+    args: tuple,
+    n_processors: int,
+    config_kwargs: Optional[dict] = None,
+) -> Measurement:
+    """Run one configuration and extract the processing-phase time."""
+    kwargs = dict(config_kwargs or {})
+    kwargs.setdefault("platform", platform)
+    kwargs.setdefault("n_processors", n_processors)
+    if n_processors == 1:
+        kwargs.setdefault("n_machines", 1)
+    config = ClusterConfig(**kwargs)
+    result: RunResult = run_parallel(config, worker, args=args)
+    elapsed = max(out["t1"] - out["t0"] for out in result.returns.values())
+    return Measurement(
+        platform=platform.name,
+        n_processors=n_processors,
+        elapsed=elapsed,
+        stats=result.stats,
+        returns=result.returns,
+    )
+
+
+def sweep_processors(
+    platform: PlatformSpec,
+    worker: Callable[..., Generator],
+    args: tuple,
+    procs: Sequence[int] = DEFAULT_PROCS,
+    config_kwargs: Optional[dict] = None,
+) -> List[Measurement]:
+    """Measure one workload at every processor count."""
+    return [
+        measure_point(platform, worker, args, p, config_kwargs) for p in procs
+    ]

@@ -1,0 +1,106 @@
+"""ASCII plots of figure data — the paper's charts in a terminal.
+
+`render_series` tables give exact numbers; this module draws them, one
+character-grid line chart per figure, so the curve *shapes* (the knee at
+6 processors, the depth crossover) are visible at a glance without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from .figures import FigureData
+
+__all__ = ["ascii_plot", "plot_figure"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Plot several y-series over shared x values on a character grid."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    xs = [float(x) for x in x_values]
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two x values")
+    all_y = [y for ys in series.values() for y in ys if y == y]  # drop NaN
+    if not all_y:
+        raise ConfigurationError("no finite y values")
+    y_lo, y_hi = min(all_y + [0.0]), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float):
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = height - 1 - int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return row, col
+
+    for idx, (name, ys) in enumerate(sorted(series.items())):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        points = [
+            cell(x, y) for x, y in zip(xs, ys) if y == y and y_lo <= y <= y_hi
+        ]
+        # connect consecutive points with linear interpolation
+        for (r1, c1), (r2, c2) in zip(points, points[1:]):
+            steps = max(abs(c2 - c1), abs(r2 - r1), 1)
+            for s in range(steps + 1):
+                rr = round(r1 + (r2 - r1) * s / steps)
+                cc = round(c1 + (c2 - c1) * s / steps)
+                if grid[rr][cc] == " ":
+                    grid[rr][cc] = "."
+        for r, c in points:
+            grid[r][c] = marker
+
+    lines: List[str] = []
+    y_hi_tag, y_lo_tag = f"{y_hi:.3g}", f"{y_lo:.3g}"
+    margin = max(len(y_hi_tag), len(y_lo_tag)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            tag = y_hi_tag.rjust(margin - 1)
+        elif i == height - 1:
+            tag = y_lo_tag.rjust(margin - 1)
+        else:
+            tag = " " * (margin - 1)
+        lines.append(f"{tag}|" + "".join(row))
+    lines.append(" " * margin + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * margin + x_axis + ("  " + x_label if x_label else ""))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(" " * margin + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)
+
+
+def plot_figure(fig: FigureData, width: int = 60, height: int = 16) -> str:
+    """Render one figure's series as an ASCII chart with its title."""
+    numeric_series = {
+        name: [float(v) for v in values]
+        for name, values in fig.series.items()
+        if all(isinstance(v, (int, float)) for v in values)
+    }
+    if not numeric_series:
+        raise ConfigurationError(f"{fig.fig_id} has no numeric series to plot")
+    chart = ascii_plot(
+        fig.x_values,
+        numeric_series,
+        width=width,
+        height=height,
+        x_label=fig.x_label,
+    )
+    return f"[{fig.fig_id}] {fig.title}\n{chart}"

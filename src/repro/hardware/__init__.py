@@ -1,0 +1,32 @@
+"""Hardware models: CPUs, memories, nodes, and the Table-1 platforms."""
+
+from .cpu import CPUSpec, Work
+from .memory import GlobalMemorySlice, MemorySpec
+from .node import NodeSpec
+from .platform import OSCosts, PlatformSpec
+from .platforms import (
+    AIX_RS6000,
+    LINUX_PCAT,
+    PLATFORMS,
+    SUNOS_SPARCSTATION,
+    get_platform,
+    platform_names,
+    table1_rows,
+)
+
+__all__ = [
+    "CPUSpec",
+    "Work",
+    "GlobalMemorySlice",
+    "MemorySpec",
+    "NodeSpec",
+    "OSCosts",
+    "PlatformSpec",
+    "AIX_RS6000",
+    "LINUX_PCAT",
+    "PLATFORMS",
+    "SUNOS_SPARCSTATION",
+    "get_platform",
+    "platform_names",
+    "table1_rows",
+]

@@ -1,0 +1,72 @@
+"""CPU cost model.
+
+Applications in this reproduction perform their computations *for real* in
+Python, but simulated time is charged from an abstract operation count
+(integer ops, floating-point ops, memory touches) through a
+:class:`CPUSpec`.  The spec's throughput numbers are calibrated to
+era-appropriate magnitudes for the paper's three machines; what matters for
+reproducing the figures is the *ratio* between compute cost and the OS /
+network costs, not absolute agreement with 1999 wall clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CPUSpec", "Work"]
+
+
+@dataclass(frozen=True)
+class Work:
+    """An abstract unit of computation: operation counts by category."""
+
+    flops: float = 0.0  # floating-point operations
+    iops: float = 0.0  # integer/logic operations
+    mems: float = 0.0  # memory touches beyond register traffic
+
+    def __add__(self, other: "Work") -> "Work":
+        return Work(self.flops + other.flops, self.iops + other.iops, self.mems + other.mems)
+
+    def scaled(self, k: float) -> "Work":
+        return Work(self.flops * k, self.iops * k, self.mems * k)
+
+    @property
+    def total_ops(self) -> float:
+        return self.flops + self.iops + self.mems
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Throughput description of one processor.
+
+    ``mflops`` / ``mips`` / ``mmemops`` are sustained millions of operations
+    per second for each :class:`Work` category.
+    """
+
+    name: str
+    clock_mhz: float
+    mflops: float
+    mips: float
+    mmemops: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("clock_mhz", "mflops", "mips", "mmemops"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def seconds_for(self, work: Work) -> float:
+        """Simulated seconds to execute ``work`` on this CPU."""
+        return (
+            work.flops / (self.mflops * 1e6)
+            + work.iops / (self.mips * 1e6)
+            + work.mems / (self.mmemops * 1e6)
+        )
+
+    def seconds_for_flops(self, flops: float) -> float:
+        return flops / (self.mflops * 1e6)
+
+    def seconds_for_iops(self, iops: float) -> float:
+        return iops / (self.mips * 1e6)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.clock_mhz:.0f} MHz)"

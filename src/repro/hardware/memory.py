@@ -1,0 +1,41 @@
+"""Local and global memory descriptions for a Processor Element.
+
+The paper's DSE model (its Figure 1) gives every Processor Element a
+Processor Unit, a Local Memory, and a slice of the Global Memory; the union
+of the slices forms the distributed shared memory.  These dataclasses are
+purely descriptive — timing for remote global-memory access is charged in
+the DSE global-memory module and the network, local access in the CPU model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..util.units import MB
+
+__all__ = ["MemorySpec", "GlobalMemorySlice"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Local memory of one node."""
+
+    size_bytes: int = 64 * MB
+    access_time: float = 120e-9  # DRAM access latency, seconds
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("memory size must be positive")
+        if self.access_time < 0:
+            raise ValueError("access time must be non-negative")
+
+
+@dataclass(frozen=True)
+class GlobalMemorySlice:
+    """One node's contribution to the cluster-wide global memory."""
+
+    size_bytes: int = 16 * MB
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("global memory slice must be positive")

@@ -1,0 +1,37 @@
+"""The Processor Element of the DSE system model (paper Figure 1).
+
+A PE couples a Processor Unit with Local Memory and a slice of Global
+Memory.  At simulation time a PE is realised by an
+:class:`repro.osmodel.machine.Machine` (which adds the UNIX scheduler); this
+module provides the static description used to build clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .platform import PlatformSpec
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one cluster node (a PE)."""
+
+    node_id: int
+    platform: PlatformSpec
+    hostname: str = ""
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if not self.hostname:
+            object.__setattr__(self, "hostname", f"node{self.node_id:02d}")
+
+    @property
+    def global_memory_bytes(self) -> int:
+        return self.platform.global_memory.size_bytes
+
+    def __str__(self) -> str:
+        return f"{self.hostname} [{self.platform.name}]"

@@ -1,0 +1,61 @@
+"""Platform specification: one row of the paper's Table 1.
+
+A platform bundles a CPU model with the operating-system cost constants that
+the paper identifies as the dominant overheads of a user-level DSE:
+system-call entry/exit, context switching between the DSE kernel and the
+DSE process (driven by asynchronous-I/O signals), interrupt/signal delivery,
+and network protocol processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cpu import CPUSpec
+from .memory import GlobalMemorySlice, MemorySpec
+
+__all__ = ["OSCosts", "PlatformSpec"]
+
+
+@dataclass(frozen=True)
+class OSCosts:
+    """Operating-system cost constants, in seconds (per occurrence)."""
+
+    syscall: float  # one system call entry+exit
+    context_switch: float  # switch between two UNIX processes
+    signal_delivery: float  # deliver a signal (SIGIO async-I/O notification)
+    protocol_per_message: float  # fixed transport+IP processing per message
+    protocol_per_byte: float  # copy/checksum cost per payload byte
+    timeslice: float = 0.010  # scheduler quantum
+
+    def __post_init__(self) -> None:
+        for name in (
+            "syscall",
+            "context_switch",
+            "signal_delivery",
+            "protocol_per_message",
+            "protocol_per_byte",
+            "timeslice",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One experiment platform: machine + OS (a Table 1 row)."""
+
+    name: str  # e.g. "SparcStation / SunOS 4.1.4"
+    machine: str  # hardware family
+    os_name: str  # operating system + version
+    cpu: CPUSpec
+    os_costs: OSCosts
+    local_memory: MemorySpec = field(default_factory=MemorySpec)
+    global_memory: GlobalMemorySlice = field(default_factory=GlobalMemorySlice)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.cpu} | syscall {self.os_costs.syscall * 1e6:.0f}us, "
+            f"ctx-switch {self.os_costs.context_switch * 1e6:.0f}us, "
+            f"proto {self.os_costs.protocol_per_message * 1e6:.0f}us/msg"
+        )

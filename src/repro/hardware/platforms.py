@@ -1,0 +1,120 @@
+"""The paper's Table 1: the three experiment platforms.
+
+The scanned paper lost most numerals; the machines named are a Sun
+SparcStation under SunOS 4.1.x ("SunOS..-JL"), an IBM RS/6000 under AIX 4.x,
+and a PC-AT with a Pentium II 266 MHz under GNU/Linux (kernel 2.0.x).  The
+constants below are calibrated to era-appropriate magnitudes:
+
+* **SparcStation 5 (microSPARC-II, 85 MHz)** — the slowest CPU of the trio,
+  with the heaviest OS path (SunOS 4 was a mid-80s kernel by 1999).
+* **RS/6000 (PowerPC 604e-class, 166 MHz)** — strong floating point (the
+  POWER line's hallmark) with a mid-weight AIX syscall path.
+* **PC-AT Pentium II 266 MHz, Linux 2.0** — fastest integer unit and by far
+  the leanest kernel path.
+
+MFLOPS figures are *sustained* rates for unblocked dense loops (well below
+peak — the usual 30-50 % of clock-limited throughput for this era), and
+``mmemops`` is DRAM-streaming throughput in million words/second — the
+memory wall: CPUs of this trio differ by 4-5x in compute but much less in
+memory bandwidth, which is why the memory-bound Gauss-Seidel behaves
+similarly across them.  ``mips`` covers cache-resident integer work (the
+game-tree searches).
+
+These values set the *ratio* of computation to OS/communication overhead;
+the paper's observation that all three platforms show the same qualitative
+speed-up patterns is exactly what the ratios preserve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .cpu import CPUSpec
+from .platform import OSCosts, PlatformSpec
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SUNOS_SPARCSTATION",
+    "AIX_RS6000",
+    "LINUX_PCAT",
+    "PLATFORMS",
+    "platform_names",
+    "get_platform",
+    "table1_rows",
+]
+
+US = 1e-6
+
+SUNOS_SPARCSTATION = PlatformSpec(
+    name="SparcStation / SunOS 4.1.4",
+    machine="Sun SparcStation 5",
+    os_name="SunOS 4.1.4-JL",
+    cpu=CPUSpec(name="microSPARC-II", clock_mhz=85.0, mflops=4.0, mips=60.0, mmemops=8.0),
+    os_costs=OSCosts(
+        syscall=25 * US,
+        context_switch=80 * US,
+        signal_delivery=60 * US,
+        protocol_per_message=350 * US,
+        protocol_per_byte=0.15 * US,
+    ),
+)
+
+AIX_RS6000 = PlatformSpec(
+    name="RS/6000 / AIX 4.2",
+    machine="IBM RS/6000",
+    os_name="AIX 4.2",
+    cpu=CPUSpec(name="PowerPC 604e", clock_mhz=166.0, mflops=16.0, mips=150.0, mmemops=12.0),
+    os_costs=OSCosts(
+        syscall=12 * US,
+        context_switch=50 * US,
+        signal_delivery=40 * US,
+        protocol_per_message=160 * US,
+        protocol_per_byte=0.055 * US,
+    ),
+)
+
+LINUX_PCAT = PlatformSpec(
+    name="PentiumII 266MHz / Linux 2.0",
+    machine="PC-AT (Pentium II 266 MHz)",
+    os_name="GNU/Linux (kernel 2.0.36)",
+    cpu=CPUSpec(name="Pentium II", clock_mhz=266.0, mflops=18.0, mips=250.0, mmemops=14.0),
+    os_costs=OSCosts(
+        syscall=4 * US,
+        context_switch=25 * US,
+        signal_delivery=20 * US,
+        protocol_per_message=90 * US,
+        protocol_per_byte=0.030 * US,
+    ),
+)
+
+PLATFORMS: Dict[str, PlatformSpec] = {
+    "sunos": SUNOS_SPARCSTATION,
+    "aix": AIX_RS6000,
+    "linux": LINUX_PCAT,
+}
+
+
+def platform_names() -> List[str]:
+    """Short keys for all Table-1 platforms, in the paper's order."""
+    return ["sunos", "aix", "linux"]
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look a platform up by short key or by full display name."""
+    key = name.strip().lower()
+    if key in PLATFORMS:
+        return PLATFORMS[key]
+    for spec in PLATFORMS.values():
+        if spec.name.lower() == key:
+            return spec
+    raise ConfigurationError(
+        f"unknown platform {name!r}; available: {sorted(PLATFORMS)}"
+    )
+
+
+def table1_rows() -> List[List[str]]:
+    """Rows of the paper's Table 1 (machine, platform/OS)."""
+    return [
+        [spec.machine, spec.os_name, str(spec.cpu)]
+        for spec in (SUNOS_SPARCSTATION, AIX_RS6000, LINUX_PCAT)
+    ]

@@ -1,0 +1,16 @@
+"""PVM/MPI-style message-passing baseline on the simulated cluster."""
+
+from .comm import Communicator, MAX, MIN, MP_BASE_PORT, SUM
+from .gauss_seidel_mp import gauss_seidel_mp_worker
+from .runtime import MPRunResult, run_mp
+
+__all__ = [
+    "Communicator",
+    "MAX",
+    "MIN",
+    "MP_BASE_PORT",
+    "SUM",
+    "gauss_seidel_mp_worker",
+    "MPRunResult",
+    "run_mp",
+]

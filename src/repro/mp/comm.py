@@ -1,0 +1,171 @@
+"""PVM/MPI-flavoured message-passing library on the simulated cluster.
+
+The paper positions DSE against PVM and MPI; this package provides that
+baseline on identical hardware so the ablation bench can compare the
+shared-memory model against explicit message passing.  The API follows
+mpi4py's lowercase-object conventions: ``send``/``recv`` move pickled-ish
+Python objects (with explicit byte accounting), and the collectives are
+built from point-to-point operations the way small 1999 libraries did
+(linear gather/scatter through the root).
+
+Worker bodies are generators receiving a :class:`Communicator`::
+
+    def worker(comm):
+        data = yield from comm.bcast(data, nbytes=1024, root=0)
+        part = compute(data, comm.rank)
+        parts = yield from comm.gather(part, nbytes=256, root=0)
+        return parts
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from ..errors import ConfigurationError
+from ..osmodel.sockets import Socket
+from ..sim.core import Event
+
+__all__ = ["Communicator", "MP_BASE_PORT", "SUM", "MAX", "MIN"]
+
+MP_BASE_PORT = 7100
+
+#: reduction operators
+SUM = "sum"
+MAX = "max"
+MIN = "min"
+
+_OPS: dict = {
+    SUM: lambda values: sum(values[1:], start=values[0]),
+    MAX: max,
+    MIN: min,
+}
+
+#: accounted overhead of the envelope (source, tag) per message
+_ENVELOPE_BYTES = 16
+
+
+class Communicator:
+    """One rank's endpoint in a message-passing world."""
+
+    def __init__(self, rank: int, size: int, socket: Socket, routes: List[tuple]):
+        self.rank = rank
+        self.size = size
+        self.socket = socket
+        #: rank -> (station, port)
+        self._routes = routes
+        self._barrier_round = 0
+
+    # -- point to point ---------------------------------------------------
+    def send(
+        self, dst: int, payload: Any, nbytes: int, tag: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Send ``payload`` (accounted as ``nbytes``) to rank ``dst``."""
+        self._check_rank(dst)
+        station, port = self._routes[dst]
+        yield from self.socket.sendto(
+            station, port, (self.rank, tag, payload), nbytes + _ENVELOPE_BYTES
+        )
+
+    def recv(
+        self, src: Optional[int] = None, tag: Optional[int] = None
+    ) -> Generator[Event, Any, Any]:
+        """Receive the next message (optionally from ``src`` / with ``tag``)."""
+
+        def match(packet) -> bool:
+            msg_src, msg_tag, _ = packet.payload
+            if src is not None and msg_src != src:
+                return False
+            if tag is not None and msg_tag != tag:
+                return False
+            return True
+
+        packet = yield from self.socket.recv(filter=match)
+        return packet.payload[2]
+
+    # -- collectives ---------------------------------------------------------
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Linear barrier through rank 0 (tagged per round for reuse)."""
+        tag = 1_000_000 + self._barrier_round
+        self._barrier_round += 1
+        if self.rank == 0:
+            for _ in range(self.size - 1):
+                yield from self.recv(tag=tag)
+            for r in range(1, self.size):
+                yield from self.send(r, None, 1, tag=tag)
+        else:
+            yield from self.send(0, None, 1, tag=tag)
+            yield from self.recv(src=0, tag=tag)
+
+    def bcast(
+        self, payload: Any, nbytes: int, root: int = 0, tag: int = 1
+    ) -> Generator[Event, Any, Any]:
+        """Broadcast from ``root``; every rank returns the payload."""
+        self._check_rank(root)
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    yield from self.send(r, payload, nbytes, tag=tag)
+            return payload
+        return (yield from self.recv(src=root, tag=tag))
+
+    def gather(
+        self, payload: Any, nbytes: int, root: int = 0, tag: int = 2
+    ) -> Generator[Event, Any, Optional[List[Any]]]:
+        """Gather one item per rank at ``root`` (rank order); others get None."""
+        self._check_rank(root)
+        if self.rank == root:
+            items: List[Any] = [None] * self.size
+            items[root] = payload
+            for _ in range(self.size - 1):
+                packet = yield from self.socket.recv(
+                    filter=lambda p: p.payload[1] == tag
+                )
+                src, _tag, item = packet.payload
+                items[src] = item
+            return items
+        yield from self.send(root, payload, nbytes, tag=tag)
+        return None
+
+    def scatter(
+        self, items: Optional[List[Any]], nbytes: int, root: int = 0, tag: int = 3
+    ) -> Generator[Event, Any, Any]:
+        """Scatter one item per rank from ``root``."""
+        self._check_rank(root)
+        if self.rank == root:
+            if items is None or len(items) != self.size:
+                raise ConfigurationError("scatter requires one item per rank at root")
+            for r in range(self.size):
+                if r != root:
+                    yield from self.send(r, items[r], nbytes, tag=tag)
+            return items[root]
+        return (yield from self.recv(src=root, tag=tag))
+
+    def reduce(
+        self, payload: Any, nbytes: int, op: str = SUM, root: int = 0, tag: int = 4
+    ) -> Generator[Event, Any, Any]:
+        """Reduce one value per rank at ``root`` (others return None)."""
+        if op not in _OPS:
+            raise ConfigurationError(f"unknown reduction op {op!r}")
+        values = yield from self.gather(payload, nbytes, root=root, tag=tag)
+        if values is None:
+            return None
+        return _OPS[op](values)
+
+    def allgather(
+        self, payload: Any, nbytes: int, tag: int = 5
+    ) -> Generator[Event, Any, List[Any]]:
+        """Gather at rank 0 then broadcast: every rank gets every item."""
+        items = yield from self.gather(payload, nbytes, root=0, tag=tag)
+        items = yield from self.bcast(items, nbytes * self.size, root=0, tag=tag + 1)
+        return items
+
+    def allreduce(
+        self, payload: Any, nbytes: int, op: str = SUM, tag: int = 7
+    ) -> Generator[Event, Any, Any]:
+        value = yield from self.reduce(payload, nbytes, op=op, root=0, tag=tag)
+        return (yield from self.bcast(value, nbytes, root=0, tag=tag + 1))
+
+    # -- internals -----------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.size):
+            raise ConfigurationError(f"rank {rank} out of range 0..{self.size - 1}")

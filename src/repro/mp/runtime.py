@@ -1,0 +1,95 @@
+"""Message-passing runtime: build the cluster and run one rank per kernel slot.
+
+Reuses :class:`repro.dse.ClusterConfig` for the hardware/placement
+description but starts plain UNIX processes with sockets — no DSE kernels,
+no DSM — which is exactly what a PVM/MPI job on the same machines did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..dse.config import ClusterConfig
+from ..errors import ConfigurationError
+from ..hardware.node import NodeSpec
+from ..network.topology import build_network
+from ..osmodel.machine import Machine
+from ..protocol.transport import make_transport
+from ..sim.core import Event, Simulator
+from ..sim.rng import RandomStreams
+from .comm import Communicator, MP_BASE_PORT
+
+__all__ = ["MPRunResult", "run_mp"]
+
+
+@dataclass
+class MPRunResult:
+    elapsed: float
+    returns: Dict[int, Any]
+    stats: Dict[str, float] = field(default_factory=dict)
+    sim_events: int = 0
+
+
+def run_mp(
+    config: ClusterConfig,
+    worker: Callable[..., Generator],
+    args: tuple = (),
+) -> MPRunResult:
+    """SPMD message-passing execution: ``worker(comm, *args)`` per rank."""
+    sim = Simulator()
+    rng = RandomStreams(config.seed)
+    n_machines = config.machines_used
+    network = build_network(sim, rng, n_machines, config.fabric)
+    machines = []
+    for m in range(n_machines):
+        nic = network.nic(m)
+        transport = make_transport(sim, nic, config.transport)
+        machines.append(
+            Machine(
+                sim,
+                NodeSpec(node_id=m, platform=config.platform_of_machine(m)),
+                nic,
+                transport,
+            )
+        )
+
+    size = config.n_processors
+    routes = [
+        (machines[config.machine_of(r)].station_id, MP_BASE_PORT + r) for r in range(size)
+    ]
+    returns: Dict[int, Any] = {}
+    start_times: Dict[int, float] = {}
+    end_times: Dict[int, float] = {}
+
+    def body_for(rank: int):
+        machine = machines[config.machine_of(rank)]
+
+        def body(proc) -> Generator[Event, Any, Any]:
+            sock = machine.open_socket(proc, MP_BASE_PORT + rank)
+            comm = Communicator(rank, size, sock, routes)
+            start_times[rank] = sim.now
+            value = yield from worker(comm, *args)
+            end_times[rank] = sim.now
+            returns[rank] = value
+            sock.close()
+            return value
+
+        return body
+
+    for rank in range(size):
+        machines[config.machine_of(rank)].spawn(body_for(rank), name=f"mp-r{rank}")
+    sim.run_all()
+    if len(returns) != size:
+        missing = sorted(set(range(size)) - set(returns))
+        raise ConfigurationError(f"MP ranks never finished: {missing} (deadlock?)")
+    elapsed = max(end_times.values()) - min(start_times.values())
+    fabric = network.fabric
+    stats = {
+        "net.frames_sent": fabric.stats.counter("frames_sent").value,
+        "net.collisions": fabric.stats.counter("collisions").value,
+        "msgs_sent": sum(m.stats.counter("msgs_sent").value for m in machines),
+    }
+    return MPRunResult(
+        elapsed=elapsed, returns=returns, stats=stats, sim_events=sim.events_processed
+    )

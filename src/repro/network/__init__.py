@@ -1,0 +1,33 @@
+"""Network models: frames, CSMA/CD shared bus, switched LAN, NICs."""
+
+from .ethernet import EthernetBus, SEND_DROPPED, SEND_OK
+from .faults import LossInjector
+from .frame import (
+    BROADCAST,
+    ETH_HEADER_BYTES,
+    ETH_MIN_PAYLOAD,
+    ETH_MTU,
+    ETH_PREAMBLE_BYTES,
+    EthernetFrame,
+)
+from .nic import NIC
+from .switch import SwitchedLAN
+from .topology import ClusterNetwork, FabricConfig, build_network
+
+__all__ = [
+    "EthernetBus",
+    "LossInjector",
+    "SEND_DROPPED",
+    "SEND_OK",
+    "BROADCAST",
+    "ETH_HEADER_BYTES",
+    "ETH_MIN_PAYLOAD",
+    "ETH_MTU",
+    "ETH_PREAMBLE_BYTES",
+    "EthernetFrame",
+    "NIC",
+    "SwitchedLAN",
+    "ClusterNetwork",
+    "FabricConfig",
+    "build_network",
+]

@@ -1,0 +1,98 @@
+"""Network fault injection.
+
+Real 1999 LANs dropped and corrupted frames; the simulated fabrics are
+perfect unless told otherwise.  :class:`LossInjector` sits between a NIC
+and its consumer and drops (or duplicates/delays) received frames with
+configured probabilities, deterministically per seed — the harness the
+failure-injection tests use to prove the reliable transports actually
+recover.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import NetworkError
+from ..sim.core import Simulator
+from ..sim.monitor import StatSet
+from ..sim.rng import RandomStreams
+from .frame import EthernetFrame
+from .nic import NIC
+
+__all__ = ["LossInjector"]
+
+
+class LossInjector:
+    """Drops/duplicates/delays frames arriving at one NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        rng: RandomStreams,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_seconds: float = 0.002,
+        predicate: Optional[Callable[[EthernetFrame], bool]] = None,
+    ):
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not (0.0 <= rate <= 1.0):
+                raise NetworkError(f"{name} must be in [0, 1], got {rate}")
+        self.sim = sim
+        self.nic = nic
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.delay_seconds = delay_seconds
+        #: only frames matching the predicate are considered for faults
+        self.predicate = predicate
+        self._rng = rng.stream(f"faults:{nic.station_id}")
+        self._inner: Optional[Callable[[EthernetFrame], None]] = None
+        self.stats = StatSet(f"faults:{nic.station_id}")
+        self.armed = False
+
+    def arm(self) -> None:
+        """Interpose on the NIC's receive path (idempotent)."""
+        if self.armed:
+            return
+        self._inner = self.nic._rx_callback
+        self.nic.on_receive(self._on_frame)
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Restore the original receive path."""
+        if not self.armed:
+            return
+        self.nic.on_receive(self._inner)
+        self.armed = False
+
+    def _deliver(self, frame: EthernetFrame) -> None:
+        if self._inner is not None:
+            self._inner(frame)
+        else:  # pragma: no cover - NIC had no callback installed
+            self.nic.rx_queue.put(frame)
+
+    def _on_frame(self, frame: EthernetFrame) -> None:
+        if self.predicate is not None and not self.predicate(frame):
+            self._deliver(frame)
+            return
+        roll = self._rng.random()
+        if roll < self.drop_rate:
+            self.stats.counter("dropped").increment()
+            return
+        if roll < self.drop_rate + self.duplicate_rate:
+            self.stats.counter("duplicated").increment()
+            self._deliver(frame)
+            self._deliver(frame)
+            return
+        if roll < self.drop_rate + self.duplicate_rate + self.delay_rate:
+            self.stats.counter("delayed").increment()
+            timer = self.sim.timeout(self.delay_seconds)
+            timer.callbacks.append(lambda _ev: self._deliver(frame))
+            return
+        self._deliver(frame)

@@ -1,0 +1,67 @@
+"""Ethernet frame model.
+
+Frames carry opaque payload objects (the protocol layer's packets); only
+sizes matter for timing.  Sizing follows IEEE 802.3: 18 bytes of MAC
+header+FCS, 8 bytes preamble/SFD charged on the wire, a 46-byte minimum
+payload (padding), and a 1500-byte maximum payload (the MTU the protocol
+layer fragments to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+from ..errors import NetworkError
+
+__all__ = [
+    "BROADCAST",
+    "ETH_HEADER_BYTES",
+    "ETH_PREAMBLE_BYTES",
+    "ETH_MIN_PAYLOAD",
+    "ETH_MTU",
+    "EthernetFrame",
+]
+
+#: destination address meaning "all stations"
+BROADCAST = -1
+
+ETH_HEADER_BYTES = 18  # dst+src MAC, ethertype, FCS
+ETH_PREAMBLE_BYTES = 8  # preamble + start-frame delimiter
+ETH_MIN_PAYLOAD = 46
+ETH_MTU = 1500
+
+_frame_ids = count(1)
+
+
+@dataclass
+class EthernetFrame:
+    """One link-layer frame."""
+
+    src: int
+    dst: int  # station id or BROADCAST
+    payload: Any
+    payload_bytes: int
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise NetworkError(f"negative payload size: {self.payload_bytes}")
+        if self.payload_bytes > ETH_MTU:
+            raise NetworkError(
+                f"payload {self.payload_bytes}B exceeds Ethernet MTU {ETH_MTU}B; "
+                "fragment at the transport layer"
+            )
+        if self.src < 0:
+            raise NetworkError(f"invalid source station {self.src}")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes actually clocked onto the wire (padding + framing)."""
+        body = max(self.payload_bytes, ETH_MIN_PAYLOAD)
+        return body + ETH_HEADER_BYTES + ETH_PREAMBLE_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dst = "bcast" if self.dst == BROADCAST else str(self.dst)
+        return f"<Frame#{self.frame_id} {self.src}->{dst} {self.payload_bytes}B>"

@@ -1,0 +1,23 @@
+"""UNIX operating-system model: machines, processes, scheduler, signals,
+syscalls, sockets."""
+
+from .machine import Machine
+from .scheduler import ProcessorSharingCPU
+from .signals import SIGIO, SIGTERM, SIGUSR1, SIGUSR2, SignalTable
+from .sockets import Socket
+from .syscall import SYSCALL_WEIGHTS, syscall_cost
+from .unixproc import UnixProcess
+
+__all__ = [
+    "Machine",
+    "ProcessorSharingCPU",
+    "SIGIO",
+    "SIGTERM",
+    "SIGUSR1",
+    "SIGUSR2",
+    "SignalTable",
+    "Socket",
+    "SYSCALL_WEIGHTS",
+    "syscall_cost",
+    "UnixProcess",
+]

@@ -1,0 +1,116 @@
+"""Physical machine: CPU + NIC + transport + resident UNIX processes.
+
+One :class:`Machine` is one workstation of the paper's Table 1 set-up.
+Several DSE kernels may run on one machine (the paper's virtual cluster);
+they then share the machine's processor-sharing CPU.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import OSModelError
+from ..hardware.node import NodeSpec
+from ..hardware.platform import PlatformSpec
+from ..network.nic import NIC
+from ..sim.core import Process, Simulator
+from ..sim.monitor import StatSet
+from .scheduler import ProcessorSharingCPU
+from .sockets import Socket
+from .unixproc import UnixProcess
+
+__all__ = ["Machine"]
+
+_pids = count(100)
+
+
+class Machine:
+    """One simulated workstation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: NodeSpec,
+        nic: NIC,
+        transport: Any,
+    ):
+        self.sim = sim
+        self.node = node
+        self.nic = nic
+        self.transport = transport
+        self.cpu = ProcessorSharingCPU(
+            sim,
+            context_switch=node.platform.os_costs.context_switch,
+            timeslice=node.platform.os_costs.timeslice,
+            name=f"{node.hostname}.cpu",
+        )
+        self.processes: Dict[int, UnixProcess] = {}
+        self.stats = StatSet(node.hostname)
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def platform(self) -> PlatformSpec:
+        return self.node.platform
+
+    @property
+    def hostname(self) -> str:
+        return self.node.hostname
+
+    @property
+    def station_id(self) -> int:
+        return self.nic.station_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Machine {self.hostname} procs={len(self.processes)}>"
+
+    # -- process management ---------------------------------------------------
+    def spawn(
+        self,
+        body: Callable[[UnixProcess], Generator],
+        name: str = "proc",
+    ) -> UnixProcess:
+        """Create and start a UNIX process.
+
+        ``body`` is a generator function taking the new :class:`UnixProcess`
+        and yielding simulation events (usually via the process's costed
+        primitives).  Charges a ``fork``+``exec`` on this machine's CPU
+        before the body runs.
+        """
+        pid = next(_pids)
+        proc = UnixProcess(self, pid, name)
+        self.processes[pid] = proc
+
+        def wrapper() -> Generator:
+            yield from proc.syscall("fork")
+            yield from proc.syscall("exec")
+            value = yield from body(proc)
+            proc.mark_exited(value)
+            return value
+
+        proc.sim_process = self.sim.process(wrapper(), name=f"{self.hostname}:{name}")
+        self.stats.counter("processes_spawned").increment()
+        return proc
+
+    def process_by_pid(self, pid: int) -> UnixProcess:
+        try:
+            return self.processes[pid]
+        except KeyError:
+            raise OSModelError(f"no pid {pid} on {self.hostname}") from None
+
+    @property
+    def live_processes(self) -> List[UnixProcess]:
+        return [p for p in self.processes.values() if not p.exited]
+
+    # -- sockets ------------------------------------------------------------
+    def open_socket(self, proc: UnixProcess, port: int) -> Socket:
+        if proc.machine is not self:
+            raise OSModelError(
+                f"process {proc.pid} belongs to {proc.machine.hostname}, not {self.hostname}"
+            )
+        return Socket(proc, port)
+
+    # -- reporting -----------------------------------------------------------
+    def load_average(self) -> float:
+        """Time-averaged run-queue length (the `uptime` number)."""
+        return self.cpu.average_run_queue()

@@ -1,0 +1,151 @@
+"""Processor-sharing CPU model.
+
+The paper constructs a *virtual cluster* by "starting two or more DSE
+kernels on one machine", and observes that "the machine load increases in
+proportion to this number", causing the performance decrease beyond six
+processors.  We model each physical machine's CPU as an egalitarian
+processor-sharing server: ``n`` concurrently executing compute bursts each
+progress at rate ``1/n`` (times a context-switch inefficiency when time-
+sharing is active), which makes co-located DSE kernels slow each other down
+exactly in proportion to their number.
+
+The implementation keeps exact PS semantics event-by-event: on every
+arrival/departure the remaining demands are advanced analytically and the
+next completion re-scheduled, so no per-timeslice events are generated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.monitor import StatSet, TimeWeighted
+
+__all__ = ["ProcessorSharingCPU"]
+
+_EPS = 1e-12
+
+
+class _Job:
+    __slots__ = ("event", "remaining", "demand")
+
+    def __init__(self, event: Event, demand: float):
+        self.event = event
+        self.demand = demand
+        self.remaining = demand
+
+
+class ProcessorSharingCPU:
+    """One machine's CPU, shared by all its UNIX processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        context_switch: float = 0.0,
+        timeslice: float = 0.010,
+        name: str = "cpu",
+    ):
+        if timeslice <= 0:
+            raise ValueError("timeslice must be positive")
+        if context_switch < 0:
+            raise ValueError("context_switch must be non-negative")
+        self.sim = sim
+        self.context_switch = context_switch
+        self.timeslice = timeslice
+        self.name = name
+        self._jobs: Dict[int, _Job] = {}
+        self._next_job_id = 0
+        self._last = sim.now
+        self._epoch = 0
+        self.stats = StatSet(name)
+        self.run_queue = TimeWeighted(f"{name}.runq", start_time=sim.now)
+        self.busy = TimeWeighted(f"{name}.busy", start_time=sim.now)
+
+    # -- public ------------------------------------------------------------
+    @property
+    def load(self) -> int:
+        """Number of compute bursts currently sharing the CPU."""
+        return len(self._jobs)
+
+    def rate(self, n: int) -> float:
+        """Per-job progress rate with ``n`` sharers.
+
+        With one job the CPU is dedicated.  With several, each gets a
+        ``1/n`` share further degraded by the context-switch tax paid once
+        per timeslice: a quantum of useful work ``q`` costs ``q + cs``.
+        """
+        if n <= 0:
+            return 0.0
+        if n == 1:
+            return 1.0
+        tax = 1.0 + self.context_switch / self.timeslice
+        return 1.0 / (n * tax)
+
+    def execute(self, demand_seconds: float) -> Event:
+        """Submit a compute burst; the returned event triggers on completion."""
+        if demand_seconds < 0:
+            raise ValueError(f"negative compute demand: {demand_seconds}")
+        event = self.sim.event(name=f"{self.name}.burst")
+        self.stats.counter("bursts").increment()
+        self.stats.tally("demand").observe(demand_seconds)
+        if demand_seconds == 0:
+            event.succeed()
+            return event
+        self._advance()
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        self._jobs[job_id] = _Job(event, demand_seconds)
+        self._note_queue()
+        self._reschedule()
+        return event
+
+    # -- internals ------------------------------------------------------------
+    def _note_queue(self) -> None:
+        n = len(self._jobs)
+        self.run_queue.set(n, self.sim.now)
+        self.busy.set(1.0 if n else 0.0, self.sim.now)
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last
+        self._last = now
+        if dt <= 0 or not self._jobs:
+            return
+        r = self.rate(len(self._jobs))
+        progressed = dt * r
+        for job in self._jobs.values():
+            job.remaining -= progressed
+            if job.remaining < 0:
+                job.remaining = 0.0
+
+    def _reschedule(self) -> None:
+        self._epoch += 1
+        if not self._jobs:
+            return
+        epoch = self._epoch
+        r = self.rate(len(self._jobs))
+        shortest = min(job.remaining for job in self._jobs.values())
+        delay = shortest / r
+        timer = self.sim.timeout(delay)
+        timer.callbacks.append(lambda _ev: self._on_timer(epoch))
+
+    def _on_timer(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # superseded by a later arrival/departure
+        self._advance()
+        finished = [jid for jid, job in self._jobs.items() if job.remaining <= _EPS]
+        events = []
+        for jid in finished:
+            job = self._jobs.pop(jid)
+            self.stats.counter("completed").increment()
+            events.append(job.event)
+        self._note_queue()
+        self._reschedule()
+        for event in events:
+            event.succeed()
+
+    def utilization(self) -> float:
+        return self.busy.average(self.sim.now)
+
+    def average_run_queue(self) -> float:
+        return self.run_queue.average(self.sim.now)

@@ -1,0 +1,52 @@
+"""UNIX signal model.
+
+DSE drives the context switch between the application computation and the
+in-process kernel with *asynchronous I/O mode interruption* — the arrival
+of a network message raises SIGIO.  This module provides signal numbers,
+per-process handler tables, and the delivery cost accounting (signal
+delivery + the context switch it forces).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import OSModelError
+
+__all__ = ["SIGIO", "SIGUSR1", "SIGUSR2", "SIGTERM", "SignalTable"]
+
+SIGIO = 23
+SIGUSR1 = 30
+SIGUSR2 = 31
+SIGTERM = 15
+
+_KNOWN = {SIGIO, SIGUSR1, SIGUSR2, SIGTERM}
+
+
+class SignalTable:
+    """Handler registrations for one UNIX process."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[int, Callable[[int], None]] = {}
+        self.delivered: Dict[int, int] = {}
+
+    def register(self, signo: int, handler: Callable[[int], None]) -> None:
+        if signo not in _KNOWN:
+            raise OSModelError(f"unknown signal {signo}")
+        if not callable(handler):
+            raise OSModelError("signal handler must be callable")
+        self._handlers[signo] = handler
+
+    def handler(self, signo: int) -> Optional[Callable[[int], None]]:
+        return self._handlers.get(signo)
+
+    def deliver(self, signo: int) -> bool:
+        """Invoke the handler if registered; returns True if handled."""
+        if signo not in _KNOWN:
+            raise OSModelError(f"unknown signal {signo}")
+        self.delivered[signo] = self.delivered.get(signo, 0) + 1
+        handler = self._handlers.get(signo)
+        if handler is None:
+            return False
+        handler(signo)
+        return True

@@ -1,0 +1,101 @@
+"""Socket layer: costed send/receive bridging UNIX processes to transports.
+
+Charges follow the paper's accounting of user-level DSE overheads:
+
+* **send path** — ``sendto`` syscall + per-message and per-byte protocol
+  processing on the sender's CPU, then the transport takes the wire.
+* **receive path** — the arrival raises an (accounted) SIGIO, then the
+  reader pays context switch + ``recvfrom`` syscall + protocol processing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import OSModelError
+from ..protocol.packet import Packet
+from ..protocol.udp import Mailbox
+from ..sim.core import Event
+from .unixproc import UnixProcess
+
+__all__ = ["Socket"]
+
+
+class Socket:
+    """A bound datagram/reliable socket owned by one UNIX process."""
+
+    def __init__(self, proc: UnixProcess, port: int):
+        self.proc = proc
+        self.port = port
+        self.machine = proc.machine
+        self.mailbox: Mailbox = self.machine.transport.bind(port)
+        self.closed = False
+        self.machine.stats.counter("sockets_open").increment()
+
+    # -- send --------------------------------------------------------------
+    def sendto(
+        self,
+        dst_station: int,
+        dst_port: int,
+        payload: Any,
+        payload_bytes: int,
+    ) -> Generator[Event, Any, None]:
+        """Send one message; completes when handed to the NIC (datagram) or
+        acknowledged (reliable transport)."""
+        self._check_open()
+        costs = self.proc.platform.os_costs
+        yield from self.proc.syscall("sendto")
+        yield from self.proc.compute_seconds(
+            costs.protocol_per_message + costs.protocol_per_byte * payload_bytes
+        )
+        self.machine.stats.counter("msgs_sent").increment()
+        self.machine.stats.counter("bytes_sent").increment(payload_bytes)
+        if dst_station == self.machine.station_id:
+            # Same machine (virtual cluster): loopback, no wire.
+            self.machine.transport.loopback(
+                dst_port, payload, payload_bytes, src_port=self.port
+            )
+        else:
+            yield from self.machine.transport.send(
+                dst_station, dst_port, payload, payload_bytes, src_port=self.port
+            )
+
+    # -- receive ------------------------------------------------------------
+    def recv(
+        self, filter: Optional[Callable[[Packet], bool]] = None
+    ) -> Generator[Event, Any, Packet]:
+        """Block for the next (matching) packet, then pay the receive path."""
+        self._check_open()
+        packet = yield self.mailbox.get(filter)
+        costs = self.proc.platform.os_costs
+        # SIGIO wakes the process, the kernel switches to it, recvfrom copies
+        # the data out, protocol processing is charged per message + byte.
+        yield from self.proc.compute_seconds(
+            costs.signal_delivery + costs.context_switch
+        )
+        yield from self.proc.syscall("recvfrom")
+        yield from self.proc.compute_seconds(
+            costs.protocol_per_message + costs.protocol_per_byte * packet.payload_bytes
+        )
+        self.machine.stats.counter("msgs_received").increment()
+        self.machine.stats.counter("bytes_received").increment(packet.payload_bytes)
+        return packet
+
+    def poll(self) -> int:
+        """Number of packets waiting (select()-style, uncosted)."""
+        self._check_open()
+        return len(self.mailbox)
+
+    def on_arrival(self, callback: Optional[Callable[[Packet], None]]) -> None:
+        """Install the async-I/O notification hook (SIGIO analogue)."""
+        self.mailbox.on_arrival = callback
+
+    def close(self) -> None:
+        if not self.closed:
+            self.machine.transport.unbind(self.port)
+            self.closed = True
+            self.machine.stats.counter("sockets_open").increment(-1)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise OSModelError(f"socket port {self.port} is closed")

@@ -1,0 +1,44 @@
+"""System-call cost catalogue.
+
+The paper's overhead analysis singles out "OS system calls and protocol
+processing" as the inevitable cost of a user-level DSE.  Each platform
+defines a base syscall cost (:class:`repro.hardware.platform.OSCosts`);
+individual calls apply a relative weight from this catalogue — e.g. a
+``sendto`` walks far more kernel code than a ``getpid``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import OSModelError
+
+__all__ = ["SYSCALL_WEIGHTS", "syscall_cost"]
+
+#: relative weight of each syscall against the platform's base syscall cost
+SYSCALL_WEIGHTS: Dict[str, float] = {
+    "getpid": 0.3,
+    "sigaction": 0.8,
+    "kill": 1.0,
+    "read": 1.0,
+    "write": 1.0,
+    "select": 1.2,
+    "socket": 1.5,
+    "bind": 1.0,
+    "sendto": 1.5,
+    "recvfrom": 1.5,
+    "fork": 20.0,
+    "exec": 40.0,
+    "exit": 5.0,
+}
+
+
+def syscall_cost(base_cost: float, name: str) -> float:
+    """Seconds of CPU consumed by one invocation of syscall ``name``."""
+    try:
+        weight = SYSCALL_WEIGHTS[name]
+    except KeyError:
+        raise OSModelError(
+            f"unknown syscall {name!r}; known: {sorted(SYSCALL_WEIGHTS)}"
+        ) from None
+    return base_cost * weight

@@ -1,0 +1,27 @@
+"""Transport protocols: datagram and reliable services over the link layer."""
+
+from .packet import Fragment, Packet, UDP_HEADER_BYTES, fragment_sizes
+from .tcp import (
+    GBN_ACK_PORT_OFFSET,
+    RELIABLE_ACK_PORT_OFFSET,
+    ReliableService,
+    WindowedReliableService,
+)
+from .transport import TRANSPORT_KINDS, Transport, make_transport
+from .udp import DatagramService, Mailbox
+
+__all__ = [
+    "Fragment",
+    "Packet",
+    "UDP_HEADER_BYTES",
+    "fragment_sizes",
+    "GBN_ACK_PORT_OFFSET",
+    "RELIABLE_ACK_PORT_OFFSET",
+    "ReliableService",
+    "WindowedReliableService",
+    "TRANSPORT_KINDS",
+    "Transport",
+    "make_transport",
+    "DatagramService",
+    "Mailbox",
+]

@@ -1,0 +1,88 @@
+"""Transport-layer packet and fragment models.
+
+A :class:`Packet` is what DSE's message-exchange module hands to the
+transport: an opaque payload object plus an accounted byte size and
+addressing (station, port).  The transport fragments packets into
+MTU-sized :class:`Fragment`\\ s for the link layer and reassembles them at
+the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+from ..errors import ProtocolError
+from ..network.frame import ETH_MTU
+
+__all__ = ["Packet", "Fragment", "UDP_HEADER_BYTES", "fragment_sizes"]
+
+#: transport+network header charged per fragment (UDP 8 + IP 20)
+UDP_HEADER_BYTES = 28
+
+_packet_ids = count(1)
+
+
+@dataclass
+class Packet:
+    """One transport-layer message."""
+
+    src: int  # source station id
+    dst: int  # destination station id
+    src_port: int
+    dst_port: int
+    payload: Any
+    payload_bytes: int
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ProtocolError(f"negative payload size: {self.payload_bytes}")
+        for port in (self.src_port, self.dst_port):
+            if not (0 <= port < 65536):
+                raise ProtocolError(f"port out of range: {port}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet#{self.packet_id} {self.src}:{self.src_port}->"
+            f"{self.dst}:{self.dst_port} {self.payload_bytes}B>"
+        )
+
+
+@dataclass
+class Fragment:
+    """One MTU-sized piece of a packet (the frame payload)."""
+
+    packet: Packet
+    index: int
+    total: int
+    data_bytes: int
+
+    @property
+    def wire_payload_bytes(self) -> int:
+        return self.data_bytes + UDP_HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Frag {self.index + 1}/{self.total} of pkt#{self.packet.packet_id}>"
+
+
+def fragment_sizes(payload_bytes: int, mtu: int = ETH_MTU) -> list:
+    """Split a payload into per-fragment data sizes.
+
+    Every fragment carries ``UDP_HEADER_BYTES`` of header inside the frame
+    payload, so the usable data per fragment is ``mtu - UDP_HEADER_BYTES``.
+    A zero-byte payload still produces one (header-only) fragment.
+    """
+    usable = mtu - UDP_HEADER_BYTES
+    if usable <= 0:
+        raise ProtocolError(f"MTU {mtu} too small for {UDP_HEADER_BYTES}B headers")
+    if payload_bytes == 0:
+        return [0]
+    sizes = []
+    remaining = payload_bytes
+    while remaining > 0:
+        take = min(usable, remaining)
+        sizes.append(take)
+        remaining -= take
+    return sizes

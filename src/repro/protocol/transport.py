@@ -1,0 +1,52 @@
+"""Transport abstraction.
+
+The re-organised DSE "eliminates dependency on a specific communication
+protocol" — the kernel's message-exchange module talks to this interface,
+and cluster construction decides whether the wire service is the datagram
+or the reliable transport.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Protocol, Union
+
+from ..errors import ConfigurationError
+from ..sim.core import Simulator
+from ..network.nic import NIC
+from .udp import DatagramService, Mailbox
+from .tcp import ReliableService, WindowedReliableService
+
+__all__ = ["Transport", "make_transport", "TRANSPORT_KINDS"]
+
+TRANSPORT_KINDS = ("datagram", "reliable", "reliable-gbn")
+
+
+class Transport(Protocol):
+    """Structural interface shared by the transports."""
+
+    def bind(self, port: int) -> Mailbox: ...
+
+    def send(
+        self,
+        dst: int,
+        dst_port: int,
+        payload: Any,
+        payload_bytes: int,
+        src_port: int = 0,
+    ) -> Generator: ...
+
+
+def make_transport(
+    sim: Simulator, nic: NIC, kind: str = "datagram"
+) -> Union[DatagramService, ReliableService, WindowedReliableService]:
+    """Build the requested transport over ``nic``."""
+    if kind not in TRANSPORT_KINDS:
+        raise ConfigurationError(
+            f"unknown transport kind {kind!r}; expected one of {TRANSPORT_KINDS}"
+        )
+    datagram = DatagramService(sim, nic)
+    if kind == "datagram":
+        return datagram
+    if kind == "reliable":
+        return ReliableService(sim, datagram)
+    return WindowedReliableService(sim, datagram)

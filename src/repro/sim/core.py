@@ -1,0 +1,427 @@
+"""Discrete-event simulation core.
+
+This module implements the event loop that every other subsystem of the
+reproduction runs on: the Ethernet bus, the protocol stack, the per-machine
+UNIX scheduler, the DSE kernel, and the parallel applications themselves are
+all simulated processes driven by one :class:`Simulator`.
+
+The design follows the classic process-interaction style (as popularised by
+SimPy, re-implemented here from scratch): a *process* is a Python generator
+that yields :class:`Event` objects; the simulator resumes the generator when
+the yielded event is triggered, passing the event's value back into the
+generator (or throwing its exception).
+
+Determinism is a hard requirement — experiment figures must be exactly
+reproducible — so ties in the event queue are broken by a monotonically
+increasing sequence number, and all randomness flows through seeded streams
+(:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "ConditionError",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]
+
+# Scheduling priorities: lower value runs first at equal timestamps.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+_PENDING = object()
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries whatever object the interrupter supplied
+    (for example, the Ethernet MAC uses it to signal a collision to an
+    in-progress transmission).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Interrupt(cause={self.cause!r})"
+
+
+class ConditionError(Exception):
+    """Raised when waiting on a composite condition whose child failed."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules its callbacks to run at the current
+    simulation time.  Once the callbacks have run the event is *processed*.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "_scheduled")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        #: callables invoked with the event when it is processed; ``None``
+        #: once processed (mirrors the SimPy convention).
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception that will be thrown into waiters."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, 0.0, priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Adopt another event's outcome (used as a chained callback)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay, PRIORITY_NORMAL)
+
+
+class Initialize(Event):
+    """Internal event used to kick off a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim, name=f"init:{process.name}")
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, 0.0, PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process is itself an event that triggers when the generator returns
+    (value = the generator's ``return`` value) or raises (the process fails
+    with that exception unless somebody is waiting on it, in which case the
+    exception propagates into the waiter).
+    """
+
+    __slots__ = ("_generator", "_target", "is_alive_hint")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        #: the event this process is currently waiting on (None when running)
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting a process that
+        is waiting on an event detaches it from that event first.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt dead process {self!r}")
+        event = Event(self.sim, name=f"interrupt:{self.name}")
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.sim._schedule(event, 0.0, PRIORITY_URGENT)
+
+    # -- machinery -----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # An interrupt raced with normal termination; drop it.
+            return
+        # Detach from the event we were waiting on (relevant for interrupts).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self.sim._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+                if not isinstance(next_event, Event):
+                    raise TypeError(
+                        f"process {self.name!r} yielded {next_event!r}, expected an Event"
+                    )
+                if next_event.callbacks is not None:
+                    # Still pending (or triggered but not yet processed):
+                    # register and suspend.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    return
+                # Already processed: loop around immediately with its value.
+                event = next_event
+        except StopIteration as stop:
+            self._target = None
+            self._ok = True
+            self._value = stop.value
+            self.sim._schedule(self, 0.0, PRIORITY_NORMAL)
+        except BaseException as exc:
+            self._target = None
+            self._ok = False
+            self._value = exc
+            if not isinstance(exc, Exception):
+                raise
+            self.sim._schedule(self, 0.0, PRIORITY_NORMAL)
+        finally:
+            self.sim._active_process = None
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = tuple(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ValueError("all events of a condition must share one simulator")
+        self._count = 0
+        if self._immediately_satisfied():
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+            if self.triggered:
+                break
+
+    def _immediately_satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.triggered and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(ConditionError(f"condition child failed: {event._value!r}"))
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every child event has triggered successfully."""
+
+    __slots__ = ()
+
+    def _immediately_satisfied(self) -> bool:
+        return len(self.events) == 0
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self.events)
+
+
+class AnyOf(_Condition):
+    """Triggers when at least one child event has triggered successfully."""
+
+    __slots__ = ()
+
+    def _immediately_satisfied(self) -> bool:
+        return False
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Simulator:
+    """The discrete-event engine: a clock plus a priority queue of events."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+        #: number of events processed so far (diagnostics / budget guards)
+        self.events_processed = 0
+
+    # -- clock ----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        return Timeout(self, delay, value, name)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if event._scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - guarded by _schedule
+            raise RuntimeError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        self.events_processed += 1
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks and isinstance(event._value, BaseException):
+            # A failed event nobody waited for: surface the error rather than
+            # silently losing it (matches SimPy's behaviour).
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None, max_events: Optional[int] = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be a simulation time (run up to and including that
+        time) or an :class:`Event` (run until it is processed; returns its
+        value).  ``max_events`` bounds total events processed as a runaway
+        guard.
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+
+        processed_limit = (
+            self.events_processed + max_events if max_events is not None else None
+        )
+        while self._queue:
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            if processed_limit is not None and self.events_processed >= processed_limit:
+                raise RuntimeError(f"simulation exceeded max_events={max_events}")
+            self.step()
+            if stop_event is not None and stop_event.processed:
+                if stop_event._ok:
+                    return stop_event.value
+                raise stop_event.value  # type: ignore[misc]
+        if stop_event is not None and not stop_event.processed:
+            raise RuntimeError(
+                f"simulation queue drained before {stop_event!r} triggered (deadlock?)"
+            )
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    def run_all(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue is completely drained."""
+        self.run(until=None, max_events=max_events)

@@ -1,0 +1,40 @@
+"""Single-system-image services on top of the DSE runtime.
+
+* :mod:`~repro.ssi.namespace` — one process space (global pids)
+* :mod:`~repro.ssi.view` — cluster-as-one-machine management views
+* :mod:`~repro.ssi.kvstore` — cluster-wide key-value service
+* :mod:`~repro.ssi.fs` — single file-system namespace
+* :mod:`~repro.ssi.placement` — transparent process placement policies
+"""
+
+from .fs import SSIFileSystem
+from .kvstore import KVClient, KVService
+from .namespace import GlobalNamespace, GlobalPid
+from .placement import (
+    identity_placement,
+    install_policy,
+    least_loaded,
+    round_robin_machines,
+)
+from .remote_exec import MIGRATED_RANK_BASE, pick_least_loaded, remote_run
+from .shell import ShellError, SSIShell
+from .view import SSIView, node_info
+
+__all__ = [
+    "SSIFileSystem",
+    "KVClient",
+    "KVService",
+    "GlobalNamespace",
+    "GlobalPid",
+    "identity_placement",
+    "install_policy",
+    "least_loaded",
+    "round_robin_machines",
+    "SSIView",
+    "node_info",
+    "MIGRATED_RANK_BASE",
+    "pick_least_loaded",
+    "remote_run",
+    "ShellError",
+    "SSIShell",
+]

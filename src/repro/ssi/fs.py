@@ -1,0 +1,77 @@
+"""Single file-system namespace.
+
+GLUnix offered "the abstraction of a single, serverless file system"; the
+DSE SSI layer provides the same *single namespace* property with a simpler
+design: one namespace server (kernel 0) holding file contents behind the
+KV service, so every node sees identical paths — the user cannot tell
+which machine they are on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List
+
+from ..dse.api import ParallelAPI
+from ..errors import SSIError
+from ..sim.core import Event
+from .kvstore import KVClient
+
+__all__ = ["SSIFileSystem"]
+
+_FILE_PREFIX = "fs:"
+
+
+def _validate_path(path: str) -> str:
+    if not path.startswith("/"):
+        raise SSIError(f"path must be absolute, got {path!r}")
+    if "//" in path or path != path.strip():
+        raise SSIError(f"malformed path {path!r}")
+    return path
+
+
+class SSIFileSystem:
+    """A cluster-wide file namespace for one DSE process."""
+
+    def __init__(self, api: ParallelAPI, server_kernel: int = 0):
+        self.api = api
+        self.kv = KVClient(api, server_kernel)
+
+    def write(self, path: str, content: str) -> Generator[Event, Any, None]:
+        """Create/overwrite a file (visible to every node immediately)."""
+        path = _validate_path(path)
+        yield from self.kv.put(_FILE_PREFIX + path, content, nbytes=len(content))
+
+    def read(self, path: str) -> Generator[Event, Any, str]:
+        path = _validate_path(path)
+        content = yield from self.kv.get(_FILE_PREFIX + path)
+        if content is None:
+            raise SSIError(f"no such file: {path}")
+        return content
+
+    def exists(self, path: str) -> Generator[Event, Any, bool]:
+        path = _validate_path(path)
+        content = yield from self.kv.get(_FILE_PREFIX + path)
+        return content is not None
+
+    def unlink(self, path: str) -> Generator[Event, Any, None]:
+        path = _validate_path(path)
+        removed = yield from self.kv.delete(_FILE_PREFIX + path)
+        if not removed:
+            raise SSIError(f"no such file: {path}")
+
+    def listdir(self, directory: str = "/") -> Generator[Event, Any, List[str]]:
+        """Names directly under ``directory`` (collapsing subdirectories)."""
+        directory = _validate_path(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        keys = yield from self.kv.list(_FILE_PREFIX + prefix)
+        names = set()
+        for key in keys:
+            rest = key[len(_FILE_PREFIX + prefix):]
+            names.add(rest.split("/", 1)[0] + ("/" if "/" in rest else ""))
+        return sorted(names)
+
+    def append(self, path: str, content: str) -> Generator[Event, Any, None]:
+        path = _validate_path(path)
+        existing = yield from self.kv.get(_FILE_PREFIX + path)
+        combined = (existing or "") + content
+        yield from self.kv.put(_FILE_PREFIX + path, combined, nbytes=len(combined))

@@ -1,0 +1,114 @@
+"""Cluster-wide key-value service (the substrate of the SSI namespace).
+
+A :class:`KVService` installs message handlers on one kernel (the
+*namespace server*, kernel 0 by convention); :class:`KVClient` gives any
+DSE process put/get/delete/list operations against it.  Byte accounting
+follows the stored values, so namespace traffic shows up on the wire like
+everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..dse.api import ParallelAPI
+from ..dse.kernel import DSEKernel
+from ..dse.messages import DSEMessage, MsgType
+from ..errors import SSIError
+from ..hardware.cpu import Work
+from ..sim.core import Event
+
+__all__ = ["KVService", "KVClient"]
+
+_SERVICE_WORK = Work(iops=150)
+
+
+class KVService:
+    """Server side: a string-keyed object store on one kernel."""
+
+    def __init__(self, kernel: DSEKernel):
+        self.kernel = kernel
+        self.data: Dict[str, Tuple[Any, int]] = {}  # key -> (value, nbytes)
+        kernel.register_service(MsgType.KV_PUT_REQ, self._handle_put)
+        kernel.register_service(MsgType.KV_GET_REQ, self._handle_get)
+        kernel.register_service(MsgType.KV_DEL_REQ, self._handle_del)
+        kernel.register_service(MsgType.KV_LIST_REQ, self._handle_list)
+
+    def _handle_put(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        yield from self.kernel.unix_process.compute(_SERVICE_WORK)
+        value, nbytes = msg.data
+        self.data[msg.name] = (value, nbytes)
+        return msg.make_response()
+
+    def _handle_get(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        yield from self.kernel.unix_process.compute(_SERVICE_WORK)
+        entry = self.data.get(msg.name)
+        if entry is None:
+            return msg.make_response(status="not-found")
+        value, nbytes = entry
+        return msg.make_response(data=value, extra_bytes=nbytes)
+
+    def _handle_del(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        yield from self.kernel.unix_process.compute(_SERVICE_WORK)
+        if msg.name not in self.data:
+            return msg.make_response(status="not-found")
+        del self.data[msg.name]
+        return msg.make_response()
+
+    def _handle_list(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        yield from self.kernel.unix_process.compute(_SERVICE_WORK)
+        prefix = msg.name
+        keys = sorted(k for k in self.data if k.startswith(prefix))
+        return msg.make_response(data=keys, extra_bytes=sum(len(k) for k in keys))
+
+
+class KVClient:
+    """Client side: issue KV operations from any DSE process."""
+
+    def __init__(self, api: ParallelAPI, server_kernel: int = 0):
+        self.api = api
+        self.server_kernel = server_kernel
+
+    def _request(
+        self, msg_type: MsgType, key: str, data: Any = None, extra_bytes: int = 0
+    ) -> Generator[Event, Any, DSEMessage]:
+        msg = DSEMessage(
+            msg_type=msg_type,
+            src_kernel=self.api.kernel.kernel_id,
+            dst_kernel=self.server_kernel,
+            name=key,
+            data=data,
+            extra_bytes=extra_bytes,
+        )
+        return (yield from self.api.kernel.exchange.request(msg))
+
+    def put(self, key: str, value: Any, nbytes: int) -> Generator[Event, Any, None]:
+        if not key:
+            raise SSIError("empty key")
+        rsp = yield from self._request(
+            MsgType.KV_PUT_REQ, key, data=(value, nbytes), extra_bytes=nbytes
+        )
+        if rsp.status != "ok":
+            raise SSIError(f"kv put {key!r} failed: {rsp.status}")
+
+    def get(self, key: str, default: Any = None) -> Generator[Event, Any, Any]:
+        rsp = yield from self._request(MsgType.KV_GET_REQ, key)
+        if rsp.status == "not-found":
+            return default
+        if rsp.status != "ok":
+            raise SSIError(f"kv get {key!r} failed: {rsp.status}")
+        return rsp.data
+
+    def delete(self, key: str) -> Generator[Event, Any, bool]:
+        rsp = yield from self._request(MsgType.KV_DEL_REQ, key)
+        if rsp.status == "not-found":
+            return False
+        if rsp.status != "ok":
+            raise SSIError(f"kv delete {key!r} failed: {rsp.status}")
+        return True
+
+    def list(self, prefix: str = "") -> Generator[Event, Any, List[str]]:
+        rsp = yield from self._request(MsgType.KV_LIST_REQ, prefix)
+        if rsp.status != "ok":
+            raise SSIError(f"kv list {prefix!r} failed: {rsp.status}")
+        return rsp.data

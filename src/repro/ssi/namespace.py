@@ -1,0 +1,103 @@
+"""Global process namespace: cluster-wide process identifiers.
+
+SSI promises one process space across the cluster: every UNIX process on
+every machine gets a *global* pid, and management tools address processes
+without knowing their node.  The namespace derives gpids deterministically
+from (kernel id, local pid) so no coordination traffic is needed to assign
+them — resolution is a table lookup on the management node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..dse.cluster import Cluster
+from ..errors import SSIError
+from ..osmodel.unixproc import UnixProcess
+
+__all__ = ["GlobalPid", "GlobalNamespace"]
+
+_GPID_STRIDE = 100_000
+
+
+@dataclass(frozen=True)
+class GlobalPid:
+    """One row of the cluster-wide process table."""
+
+    gpid: int
+    kernel_id: int
+    local_pid: int
+    hostname: str
+    name: str
+    alive: bool
+
+
+class GlobalNamespace:
+    """The single process space over one cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    @staticmethod
+    def gpid_of(kernel_id: int, local_pid: int) -> int:
+        if local_pid >= _GPID_STRIDE:
+            raise SSIError(f"local pid {local_pid} exceeds namespace stride")
+        return kernel_id * _GPID_STRIDE + local_pid
+
+    @staticmethod
+    def split(gpid: int) -> Tuple[int, int]:
+        """(kernel id, local pid) of a global pid."""
+        return divmod(gpid, _GPID_STRIDE)
+
+    def processes(self) -> List[GlobalPid]:
+        """The cluster-wide process table (every UNIX process, every node)."""
+        rows: List[GlobalPid] = []
+        for kernel in self.cluster.kernels:
+            for pid, proc in sorted(kernel.machine.processes.items()):
+                # A machine hosts several kernels in a virtual cluster; list
+                # each process under the kernel whose UNIX process it is, and
+                # under the lowest-id kernel of its machine otherwise.
+                owner = self._owning_kernel(proc)
+                if owner is not kernel:
+                    continue
+                rows.append(
+                    GlobalPid(
+                        gpid=self.gpid_of(kernel.kernel_id, pid),
+                        kernel_id=kernel.kernel_id,
+                        local_pid=pid,
+                        hostname=kernel.machine.hostname,
+                        name=proc.name,
+                        alive=not proc.exited,
+                    )
+                )
+        return rows
+
+    def _owning_kernel(self, proc: UnixProcess):
+        for kernel in self.cluster.kernels:
+            if kernel.unix_process is proc:
+                return kernel
+        # Not a kernel process: attribute to the lowest-id kernel on the
+        # machine (its spawner in this runtime).
+        for kernel in self.cluster.kernels:
+            if kernel.machine is proc.machine:
+                return kernel
+        raise SSIError(f"process {proc!r} belongs to no cluster machine")
+
+    def resolve(self, gpid: int) -> UnixProcess:
+        """Find the UNIX process behind a global pid, wherever it lives."""
+        kernel_id, local_pid = self.split(gpid)
+        if not (0 <= kernel_id < self.cluster.size):
+            raise SSIError(f"gpid {gpid}: no kernel {kernel_id}")
+        machine = self.cluster.kernel(kernel_id).machine
+        try:
+            return machine.process_by_pid(local_pid)
+        except Exception:
+            raise SSIError(f"gpid {gpid}: no process {local_pid} on {machine.hostname}") from None
+
+    def find(self, name: str) -> Optional[GlobalPid]:
+        """First process with the given name (cluster-wide pgrep)."""
+        for row in self.processes():
+            if row.name == name:
+                return row
+        return None

@@ -1,0 +1,65 @@
+"""Transparent process placement policies (SSI future-work extension).
+
+The paper leaves load balancing to future work; this module supplies it:
+a placement policy decides which kernel runs a newly invoked DSE process,
+and the user never names a node.  Policies plug into
+:meth:`repro.dse.cluster.Cluster.placement` via :func:`install_policy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..dse.cluster import Cluster
+from ..errors import SSIError
+
+__all__ = [
+    "identity_placement",
+    "round_robin_machines",
+    "least_loaded",
+    "install_policy",
+]
+
+Policy = Callable[[int, Cluster], int]
+
+
+def identity_placement(rank: int, cluster: Cluster) -> int:
+    """Rank r runs on kernel r (the default SPMD layout)."""
+    return rank
+
+
+def round_robin_machines(rank: int, cluster: Cluster) -> int:
+    """Spread processes across *machines* first, then across co-located
+    kernels — avoids stacking work on doubled-up virtual-cluster nodes."""
+    machines = cluster.config.machines_used
+    machine = rank % machines
+    kernels_there = cluster.config.kernels_on(machine)
+    return kernels_there[(rank // machines) % len(kernels_there)]
+
+
+def least_loaded(rank: int, cluster: Cluster) -> int:
+    """Send the process to the kernel whose machine currently has the
+    fewest live processes (ties break by kernel id)."""
+    return min(
+        (k.kernel_id for k in cluster.kernels),
+        key=lambda kid: (
+            len(cluster.kernel(kid).machine.live_processes),
+            kid,
+        ),
+    )
+
+
+def install_policy(cluster: Cluster, policy: Policy) -> None:
+    """Replace the cluster's placement hook with ``policy`` (validated)."""
+
+    def placement(rank: int) -> int:
+        if not (0 <= rank < cluster.size):
+            raise SSIError(f"rank {rank} out of range")
+        kernel_id = policy(rank, cluster)
+        if not (0 <= kernel_id < cluster.size):
+            raise SSIError(
+                f"placement policy returned invalid kernel {kernel_id} for rank {rank}"
+            )
+        return kernel_id
+
+    cluster.placement = placement  # type: ignore[method-assign]

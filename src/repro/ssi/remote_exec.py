@@ -1,0 +1,66 @@
+"""Transparent remote execution (cooperative migration).
+
+Real SSI systems of the era moved work between nodes via cooperative
+checkpointing: a task packages its state, continues on another node, and
+the result flows back — node choice is the system's business, not the
+user's.  :func:`remote_run` provides exactly that on DSE: the caller names
+a plain generator function and its (byte-accounted) state, the SSI layer
+picks a node (least-loaded by default), the task runs there as a DSE
+process, and the caller gets the return value.
+
+The spawned task gets a fresh, private rank id, so it must not join the
+SPMD ranks' collective operations (barriers over ``api.size``).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from ..dse.api import ParallelAPI
+from ..errors import SSIError
+from ..sim.core import Event
+
+__all__ = ["remote_run", "pick_least_loaded", "MIGRATED_RANK_BASE"]
+
+#: migrated/remote tasks get ranks far above any SPMD rank
+MIGRATED_RANK_BASE = 1_000_000
+
+_task_ids = count(1)
+
+
+def pick_least_loaded(api: ParallelAPI, exclude_self: bool = False) -> int:
+    """The kernel whose machine currently runs the fewest live processes."""
+    cluster = api.kernel.cluster
+    candidates = [
+        k for k in cluster.kernels
+        if not (exclude_self and k.kernel_id == api.kernel.kernel_id)
+    ]
+    if not candidates:
+        raise SSIError("no candidate kernels for remote execution")
+    return min(
+        candidates,
+        key=lambda k: (len(k.machine.live_processes), k.kernel_id),
+    ).kernel_id
+
+
+def remote_run(
+    api: ParallelAPI,
+    task: Callable[..., Generator],
+    args: tuple = (),
+    target: Optional[int] = None,
+    exclude_self: bool = True,
+) -> Generator[Event, Any, Any]:
+    """Run ``task(api', *args)`` on another node; returns its return value.
+
+    ``target`` picks the kernel explicitly; by default the least-loaded
+    machine (excluding the caller's) is chosen — transparent placement.
+    """
+    if target is None:
+        target = pick_least_loaded(api, exclude_self=exclude_self)
+    if not (0 <= target < api.size):
+        raise SSIError(f"remote-run target kernel {target} out of range")
+    rank = MIGRATED_RANK_BASE + next(_task_ids)
+    handle = yield from api.kernel.procman.invoke(target, task, rank, args)
+    value = yield from api.kernel.procman.wait(handle)
+    return value

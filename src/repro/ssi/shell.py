@@ -1,0 +1,140 @@
+"""`cluster(1)` — a management shell over the single-system image.
+
+Parses the administration commands an operator of an SSI cluster expects
+and answers them from the cluster-wide views, so scripts and tests can
+drive the management plane textually::
+
+    shell = SSIShell(cluster)
+    print(shell.execute("ps"))
+    print(shell.execute("pgrep dse-k3"))
+    print(shell.execute("info 2"))
+
+Commands are side-effect-free inspections; anything that needs messages
+(file system, KV) lives in the in-simulation APIs instead.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Dict, List
+
+from ..dse.cluster import Cluster
+from ..errors import SSIError
+from ..util.tables import Table
+from .namespace import GlobalNamespace
+from .view import SSIView
+
+__all__ = ["SSIShell", "ShellError"]
+
+
+class ShellError(SSIError):
+    """Raised for unknown commands or bad arguments."""
+
+
+class SSIShell:
+    """Textual management interface over one cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.view = SSIView(cluster)
+        self.namespace = GlobalNamespace(cluster)
+        self._commands: Dict[str, Callable[[List[str]], str]] = {
+            "help": self._help,
+            "uname": self._uname,
+            "ps": self._ps,
+            "top": self._top,
+            "netstat": self._netstat,
+            "pgrep": self._pgrep,
+            "stat": self._stat,
+            "info": self._info,
+            "kernels": self._kernels,
+            "machines": self._machines,
+        }
+
+    # -- driver -----------------------------------------------------------
+    def execute(self, line: str) -> str:
+        """Run one command line; returns its output (raises ShellError)."""
+        parts = shlex.split(line)
+        if not parts:
+            return ""
+        command, args = parts[0], parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            raise ShellError(f"unknown command {command!r}; try 'help'")
+        return handler(args)
+
+    # -- commands ------------------------------------------------------------
+    def _help(self, args: List[str]) -> str:
+        return "commands: " + " ".join(sorted(self._commands))
+
+    def _uname(self, args: List[str]) -> str:
+        return self.view.uname()
+
+    def _ps(self, args: List[str]) -> str:
+        return self.view.ps()
+
+    def _top(self, args: List[str]) -> str:
+        return self.view.top()
+
+    def _netstat(self, args: List[str]) -> str:
+        return self.view.netstat()
+
+    def _pgrep(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: pgrep <name>")
+        row = self.namespace.find(args[0])
+        if row is None:
+            raise ShellError(f"no process named {args[0]!r}")
+        return str(row.gpid)
+
+    def _stat(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: stat <gpid>")
+        try:
+            gpid = int(args[0])
+        except ValueError:
+            raise ShellError(f"gpid must be an integer, got {args[0]!r}") from None
+        proc = self.namespace.resolve(gpid)
+        kernel_id, _local = self.namespace.split(gpid)
+        return (
+            f"gpid {gpid}: {proc.name} on {proc.machine.hostname} "
+            f"(kernel k{kernel_id}, {'running' if not proc.exited else 'exited'}, "
+            f"{proc.cpu_seconds:.4g}s cpu)"
+        )
+
+    def _info(self, args: List[str]) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: info <kernel-id>")
+        try:
+            kernel = self.cluster.kernel(int(args[0]))
+        except Exception:
+            raise ShellError(f"no kernel {args[0]}") from None
+        machine = kernel.machine
+        return (
+            f"kernel k{kernel.kernel_id} on {machine.hostname} "
+            f"[{machine.platform.name}] "
+            f"served={kernel.stats.counter('requests_served').value} "
+            f"dse_processes={kernel.stats.counter('dse_processes').value}"
+        )
+
+    def _kernels(self, args: List[str]) -> str:
+        table = Table(["KERNEL", "NODE", "PLATFORM", "SERVED"], title="kernels")
+        for kernel in self.cluster.kernels:
+            table.add(
+                f"k{kernel.kernel_id}",
+                kernel.machine.hostname,
+                kernel.machine.platform.name,
+                kernel.stats.counter("requests_served").value,
+            )
+        return table.render()
+
+    def _machines(self, args: List[str]) -> str:
+        table = Table(["NODE", "PLATFORM", "PROCS", "CPU%"], title="machines")
+        for machine in self.cluster.machines:
+            table.add(
+                machine.hostname,
+                machine.platform.name,
+                len(machine.processes),
+                round(100 * machine.cpu.utilization(), 1),
+            )
+        return table.render()

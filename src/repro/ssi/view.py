@@ -1,0 +1,89 @@
+"""Single-system-image management views: the cluster as one machine.
+
+:class:`SSIView` renders the cluster the way SSI promises the user sees
+it — ``ps``/``top``/``uname`` equivalents that span every node, plus an
+in-simulation ``info`` RPC (``SSI_INFO_REQ``) any DSE process can use to
+ask about any node without knowing where it runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List
+
+from ..dse.api import ParallelAPI
+from ..dse.cluster import Cluster
+from ..dse.messages import DSEMessage, MsgType
+from ..errors import SSIError
+from ..sim.core import Event
+from ..util.tables import Table
+from .namespace import GlobalNamespace
+
+__all__ = ["SSIView", "node_info"]
+
+
+def node_info(api: ParallelAPI, kernel_id: int) -> Generator[Event, Any, Dict[str, Any]]:
+    """In-simulation RPC: ask any node for its status (SSI_INFO)."""
+    msg = DSEMessage(
+        msg_type=MsgType.SSI_INFO_REQ,
+        src_kernel=api.kernel.kernel_id,
+        dst_kernel=kernel_id,
+    )
+    rsp = yield from api.kernel.exchange.request(msg)
+    if rsp.status != "ok":
+        raise SSIError(f"info request to kernel {kernel_id} failed: {rsp.status}")
+    return rsp.data
+
+
+class SSIView:
+    """Management-plane view over a built cluster."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.namespace = GlobalNamespace(cluster)
+
+    def uname(self) -> str:
+        """The single-machine identity the cluster presents."""
+        platform = self.cluster.config.platform
+        return (
+            f"DSE-SSI cluster ({self.cluster.size} processors, "
+            f"{self.cluster.config.machines_used} nodes) {platform.os_name}"
+        )
+
+    def ps(self) -> str:
+        """Cluster-wide process listing (one process space)."""
+        table = Table(["GPID", "NODE", "KERNEL", "NAME", "STATE"], title="cluster ps")
+        for row in self.namespace.processes():
+            table.add(
+                row.gpid,
+                row.hostname,
+                f"k{row.kernel_id}",
+                row.name,
+                "R" if row.alive else "Z",
+            )
+        return table.render()
+
+    def top(self) -> str:
+        """Per-node load view (run-queue averages, process counts)."""
+        table = Table(
+            ["NODE", "KERNELS", "PROCS", "LOADAVG", "CPU%"], title="cluster top"
+        )
+        for machine in self.cluster.machines:
+            kernels = [
+                k.kernel_id for k in self.cluster.kernels if k.machine is machine
+            ]
+            table.add(
+                machine.hostname,
+                ",".join(f"k{k}" for k in kernels),
+                len(machine.processes),
+                round(machine.load_average(), 2),
+                round(100 * machine.cpu.utilization(), 1),
+            )
+        return table.render()
+
+    def netstat(self) -> str:
+        """Fabric counters (frames, collisions) — the wire the SSI hides."""
+        fabric = self.cluster.network.fabric
+        table = Table(["COUNTER", "VALUE"], title="cluster netstat")
+        for key in ("frames_sent", "frames_delivered", "collisions", "bytes_sent"):
+            table.add(key, fabric.stats.counter(key).value)
+        return table.render()

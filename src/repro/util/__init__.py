@@ -1,0 +1,35 @@
+"""Shared utilities: units, table rendering."""
+
+from .units import (
+    KB,
+    KBPS,
+    MB,
+    MBPS,
+    MS,
+    US,
+    bits,
+    bytes_from_bits,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    transmission_time,
+)
+from .tables import Table, render_series, render_table
+
+__all__ = [
+    "KB",
+    "KBPS",
+    "MB",
+    "MBPS",
+    "MS",
+    "US",
+    "bits",
+    "bytes_from_bits",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_time",
+    "transmission_time",
+    "Table",
+    "render_series",
+    "render_table",
+]

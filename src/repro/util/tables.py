@@ -1,0 +1,79 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper plots; these
+helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = ["render_table", "render_series", "Table"]
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: Dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """Render one figure's data: x column plus one column per plotted line."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[Any] = [x]
+        for name in series:
+            vals = series[name]
+            row.append(vals[i] if i < len(vals) else "")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+class Table:
+    """Incrementally built table (convenience wrapper)."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.headers = list(headers)
+        self.title = title
+        self.rows: List[List[Any]] = []
+
+    def add(self, *row: Any) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} cells, got {len(row)}")
+        self.rows.append(list(row))
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,81 @@
+"""Unit helpers and constants.
+
+All simulation time is in **seconds**, sizes in **bytes**, rates in
+**bits per second** — these helpers keep call sites readable and prevent the
+classic bits/bytes mix-up in the network models.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "US",
+    "MS",
+    "MBPS",
+    "KBPS",
+    "bits",
+    "bytes_from_bits",
+    "transmission_time",
+    "fmt_time",
+    "fmt_bytes",
+    "fmt_rate",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+US = 1e-6  # one microsecond, in seconds
+MS = 1e-3  # one millisecond, in seconds
+
+KBPS = 1_000.0  # bits per second
+MBPS = 1_000_000.0
+
+
+def bits(nbytes: int) -> int:
+    """Size in bits of ``nbytes`` bytes."""
+    return int(nbytes) * 8
+
+
+def bytes_from_bits(nbits: int) -> float:
+    return nbits / 8.0
+
+
+def transmission_time(nbytes: int, rate_bps: float) -> float:
+    """Seconds to clock ``nbytes`` onto a link of ``rate_bps`` bits/second."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    if nbytes < 0:
+        raise ValueError(f"size must be non-negative, got {nbytes}")
+    return bits(nbytes) / rate_bps
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration (used in tables and reports)."""
+    if seconds < 0:
+        return "-" + fmt_time(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds / 60.0:.2f}min"
+
+
+def fmt_bytes(nbytes: float) -> str:
+    if nbytes < KB:
+        return f"{int(nbytes)}B"
+    if nbytes < MB:
+        return f"{nbytes / KB:.1f}KiB"
+    return f"{nbytes / MB:.2f}MiB"
+
+
+def fmt_rate(bps: float) -> str:
+    if bps >= MBPS:
+        return f"{bps / MBPS:.1f}Mbit/s"
+    if bps >= KBPS:
+        return f"{bps / KBPS:.1f}kbit/s"
+    return f"{bps:.0f}bit/s"

@@ -1,0 +1,166 @@
+"""Tests for DSE collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    ClusterConfig,
+    allreduce,
+    broadcast,
+    gather,
+    reduce,
+    run_parallel,
+    scatter,
+)
+from repro.errors import DSEError
+from repro.hardware import get_platform
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("platform", get_platform("linux"))
+    return ClusterConfig(n_processors=p, **kw)
+
+
+def test_broadcast_all_ranks_receive():
+    def worker(api):
+        values = [1.5, 2.5, 3.5] if api.rank == 0 else None
+        data = yield from broadcast(api, "b1", values, 3)
+        return list(data)
+
+    res = run_parallel(cfg(), worker)
+    assert all(v == [1.5, 2.5, 3.5] for v in res.returns.values())
+
+
+def test_broadcast_nonzero_root():
+    def worker(api):
+        values = [float(api.rank)] if api.rank == 2 else None
+        data = yield from broadcast(api, "b2", values, 1, root=2)
+        return float(data[0])
+
+    res = run_parallel(cfg(), worker)
+    assert all(v == 2.0 for v in res.returns.values())
+
+
+def test_broadcast_length_mismatch():
+    def worker(api):
+        if api.rank == 0:
+            with pytest.raises(DSEError, match="words"):
+                yield from broadcast(api, "b3", [1.0, 2.0], 3)
+        # Abort coherently so nobody hangs on the collective's barriers.
+        return True
+
+    res = run_parallel(cfg(1, n_machines=1), worker)
+    assert res.returns[0] is True
+
+
+def test_reduce_sum_vector():
+    def worker(api):
+        out = yield from reduce(api, "r1", [float(api.rank), 1.0], op="sum")
+        return None if out is None else list(out)
+
+    res = run_parallel(cfg(4), worker)
+    assert res.returns[0] == [0 + 1 + 2 + 3, 4.0]
+    assert all(res.returns[r] is None for r in range(1, 4))
+
+
+@pytest.mark.parametrize("op,expected", [("max", 3.0), ("min", 0.0), ("prod", 0.0)])
+def test_reduce_ops(op, expected):
+    def worker(api):
+        out = yield from reduce(api, f"r-{op}", [float(api.rank)], op=op)
+        return None if out is None else float(out[0])
+
+    res = run_parallel(cfg(4), worker)
+    assert res.returns[0] == expected
+
+
+def test_reduce_unknown_op():
+    def worker(api):
+        with pytest.raises(DSEError, match="unknown reduction"):
+            yield from reduce(api, "r-bad", [1.0], op="xor")
+        return True
+
+    res = run_parallel(cfg(1, n_machines=1), worker)
+    assert res.returns[0] is True
+
+
+def test_allreduce_everyone_gets_result():
+    def worker(api):
+        out = yield from allreduce(api, "ar1", [float(api.rank + 1)])
+        return float(out[0])
+
+    res = run_parallel(cfg(5), worker)
+    assert all(v == 15.0 for v in res.returns.values())
+
+
+def test_gather_shape_and_order():
+    def worker(api):
+        out = yield from gather(api, "g1", [float(api.rank), float(api.rank * 10)])
+        if out is None:
+            return None
+        return out.tolist()
+
+    res = run_parallel(cfg(3), worker)
+    assert res.returns[0] == [[0.0, 0.0], [1.0, 10.0], [2.0, 20.0]]
+
+
+def test_scatter_slices():
+    def worker(api):
+        values = list(range(8)) if api.rank == 0 else None
+        out = yield from scatter(api, "s1", values, 2)
+        return list(out)
+
+    res = run_parallel(cfg(4), worker)
+    assert res.returns == {0: [0, 1], 1: [2, 3], 2: [4, 5], 3: [6, 7]}
+
+
+def test_scatter_length_validation():
+    def worker(api):
+        with pytest.raises(DSEError, match="need"):
+            yield from scatter(api, "s2", [1.0], 2)
+        return True
+
+    res = run_parallel(cfg(1, n_machines=1), worker)
+    assert res.returns[0] is True
+
+
+def test_oversized_collective_rejected():
+    def worker(api):
+        with pytest.raises(DSEError, match="slot size"):
+            yield from broadcast(api, "huge", None, 100_000, root=1)
+        return True
+
+    res = run_parallel(cfg(1, n_machines=1), worker)
+    assert res.returns[0] is True
+
+
+def test_successive_collectives_reuse_scratch():
+    def worker(api):
+        total = 0.0
+        for i in range(3):
+            out = yield from allreduce(api, "loop", [1.0])
+            total += float(out[0])
+        return total
+
+    res = run_parallel(cfg(3), worker)
+    assert all(v == 9.0 for v in res.returns.values())
+
+
+def test_collectives_compose_into_dot_product():
+    """A realistic use: distributed dot product via scatter + allreduce."""
+    n = 32
+
+    def worker(api):
+        rng = np.random.default_rng(5)
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        chunk = n // api.size
+        xs = yield from scatter(api, "dotx", x if api.rank == 0 else None, chunk)
+        ys = yield from scatter(api, "doty", y if api.rank == 0 else None, chunk)
+        partial = float(xs @ ys)
+        out = yield from allreduce(api, "dot", [partial])
+        return float(out[0])
+
+    res = run_parallel(cfg(4), worker)
+    rng = np.random.default_rng(5)
+    x, y = rng.normal(size=32), rng.normal(size=32)
+    expected = float(x @ y)
+    assert all(abs(v - expected) < 1e-9 for v in res.returns.values())

@@ -1,0 +1,212 @@
+"""Tests for the write-invalidate caching DSM (coherence ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.dse import Cluster, ClusterConfig, run_master, run_parallel
+from repro.dse.coherence import CachingGlobalMemory, EXCLUSIVE, SHARED
+from repro.hardware import get_platform
+
+
+def cfg(**kw):
+    kw.setdefault("platform", get_platform("linux"))
+    kw.setdefault("n_processors", 4)
+    kw.setdefault("coherence", "cache")
+    kw.setdefault("total_gm_words", 1 << 16)
+    kw.setdefault("block_words", 64)
+    return ClusterConfig(**kw)
+
+
+def test_cluster_builds_caching_manager():
+    cluster = Cluster(cfg())
+    assert isinstance(cluster.kernel(0).gmem, CachingGlobalMemory)
+    assert cluster.kernel(0).gmem.policy_name == "cache"
+
+
+def test_block_span_covers_range():
+    cluster = Cluster(cfg())
+    gm = cluster.kernel(0).gmem
+    spans = list(gm.block_span(60, 80))  # crosses a 64-word block boundary
+    assert spans[0][0] == 0 and spans[-1][0] == 2
+    covered = sum(hi - lo for _, _, lo, hi in spans)
+    assert covered == 80
+
+
+def test_roundtrip_and_cache_hit():
+    def master(api):
+        gm = api.kernel.gmem
+        yield from api.gm_write(1000, np.arange(10, dtype=float))
+        a = yield from api.gm_read(1000, 10)
+        b = yield from api.gm_read(1000, 10)  # second read: cache hit
+        return (
+            list(a),
+            list(b),
+            gm.stats.counter("hits").value,
+            gm.stats.counter("misses").value,
+        )
+
+    a, b, hits, misses = run_master(cfg(), master).returns[0]
+    assert a == b == list(range(10))
+    assert hits >= 1
+
+
+def test_remote_read_caches_shared_state():
+    def worker(api):
+        gm = api.kernel.gmem
+        if api.rank == 0:
+            yield from api.gm_write(0, [7.0])
+        yield from api.barrier("w")
+        v1 = yield from api.gm_read_scalar(0)
+        state = gm.cached_state(0)
+        return (v1, state)
+
+    res = run_parallel(cfg(), worker)
+    for rank, (v, state) in res.returns.items():
+        assert v == 7.0
+        if rank != 0:
+            assert state == SHARED
+    # rank 0 wrote, so it holds the block exclusively
+    assert res.returns[0][1] == EXCLUSIVE
+
+
+def test_write_invalidates_sharers():
+    """After rank 1 writes, every other rank must observe the new value."""
+
+    def worker(api):
+        yield from api.gm_read_scalar(0)  # everyone caches the block SHARED
+        yield from api.barrier("cached")
+        if api.rank == 1:
+            yield from api.gm_write_scalar(0, 99.0)
+        yield from api.barrier("written")
+        v = yield from api.gm_read_scalar(0)
+        return v
+
+    res = run_parallel(cfg(), worker)
+    assert all(v == 99.0 for v in res.returns.values())
+
+
+def test_ownership_migrates_between_writers():
+    def worker(api):
+        for i in range(api.size):
+            if api.rank == i:
+                v = yield from api.gm_read_scalar(0)
+                yield from api.gm_write_scalar(0, v + 1.0)
+            yield from api.barrier(f"turn{i}")
+        return (yield from api.gm_read_scalar(0))
+
+    res = run_parallel(cfg(), worker)
+    assert all(v == 4.0 for v in res.returns.values())
+
+
+def test_dirty_data_recalled_to_reader():
+    """A reader must see data that only ever lived in a writer's cache."""
+
+    def worker(api):
+        if api.rank == 2:
+            yield from api.gm_write(128, np.full(64, 3.25))  # one whole block
+        yield from api.barrier("w")
+        if api.rank == 3:
+            data = yield from api.gm_read(128, 64)
+            return float(data.sum())
+        return None
+
+    res = run_parallel(cfg(), worker)
+    assert res.returns[3] == pytest.approx(64 * 3.25)
+
+
+def test_repeated_local_access_sends_no_messages():
+    def master(api):
+        gm = api.kernel.gmem
+        addr = gm.slice_words + 10  # homed on kernel 1: remote for master
+        yield from api.gm_write_scalar(addr, 1.0)
+        before = gm.stats.counter("misses").value + gm.stats.counter("upgrades").value
+        for i in range(20):
+            v = yield from api.gm_read_scalar(addr)
+            yield from api.gm_write_scalar(addr, v + 1.0)
+        after = gm.stats.counter("misses").value + gm.stats.counter("upgrades").value
+        final = yield from api.gm_read_scalar(addr)
+        return (before, after, final)
+
+    before, after, final = run_master(cfg(), master).returns[0]
+    assert after == before  # all 40 accesses were cache hits
+    assert final == 21.0
+
+
+def test_cache_beats_home_for_repeated_remote_access():
+    """The ablation's headline: repeated access to a remote block is much
+    cheaper with caching than with per-access request/response."""
+
+    def worker(api):
+        gm = api.kernel.gmem
+        addr = gm.slice_words * (api.size - 1) + 5  # homed on the last kernel
+        if api.rank == 0:
+            total = 0.0
+            for _ in range(30):
+                total += yield from api.gm_read_scalar(addr)
+        yield from api.barrier("end")
+        return True
+
+    t_home = run_parallel(cfg(coherence="home"), worker).elapsed
+    t_cache = run_parallel(cfg(coherence="cache"), worker).elapsed
+    assert t_cache < 0.5 * t_home
+
+
+def test_home_beats_cache_for_pingpong():
+    """...and the reverse: a write-ping-pong between two ranks is cheaper
+    without ownership migration."""
+
+    def worker(api):
+        for i in range(10):
+            if api.rank == i % 2:
+                v = yield from api.gm_read_scalar(0)
+                yield from api.gm_write_scalar(0, v + 1)
+            yield from api.barrier(f"b{i}")
+        return (yield from api.gm_read_scalar(0))
+
+    t_home = run_parallel(cfg(coherence="home", n_processors=2), worker)
+    t_cache = run_parallel(cfg(coherence="cache", n_processors=2), worker)
+    assert all(v == 10.0 for v in t_home.returns.values())
+    assert all(v == 10.0 for v in t_cache.returns.values())
+    assert t_home.elapsed < t_cache.elapsed
+
+
+def test_concurrent_writers_different_blocks_no_interference():
+    def worker(api):
+        addr = api.rank * 64  # one block each
+        for i in range(5):
+            yield from api.gm_write(addr, np.full(64, float(i)))
+        data = yield from api.gm_read(addr, 64)
+        yield from api.barrier("end")
+        return float(data[0])
+
+    res = run_parallel(cfg(), worker)
+    assert all(v == 4.0 for v in res.returns.values())
+
+
+def test_contended_counter_correct_under_caching():
+    def worker(api):
+        for _ in range(8):
+            yield from api.lock("c")
+            v = yield from api.gm_read_scalar(0)
+            yield from api.gm_write_scalar(0, v + 1)
+            yield from api.unlock("c")
+        yield from api.barrier("end")
+        return (yield from api.gm_read_scalar(0))
+
+    res = run_parallel(cfg(n_processors=6), worker)
+    assert all(v == 48.0 for v in res.returns.values())
+
+
+def test_cache_deterministic():
+    def worker(api):
+        for _ in range(3):
+            yield from api.lock("c")
+            v = yield from api.gm_read_scalar(0)
+            yield from api.gm_write_scalar(0, v + 1)
+            yield from api.unlock("c")
+        yield from api.barrier("end")
+        return api.now
+
+    r1 = run_parallel(cfg(n_processors=5), worker)
+    r2 = run_parallel(cfg(n_processors=5), worker)
+    assert r1.returns == r2.returns

@@ -1,0 +1,33 @@
+"""Smoke tests: every bundled example must run to completion.
+
+The examples are the quickstart documentation; they execute real cluster
+runs, so breaking any public API breaks these first.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{name} produced no output"

@@ -1,0 +1,178 @@
+"""Tests for the experiment harness, figure registry, checks, and CLI."""
+
+import pytest
+
+from repro.apps import knights_tour_worker, othello_worker
+from repro.experiments import (
+    DEFAULT_PROCS,
+    FIGURES,
+    FigureData,
+    Measurement,
+    check_figure,
+    measure_point,
+    sweep_processors,
+    table1,
+)
+from repro.experiments.checks import (
+    check_dct_speedup,
+    check_gs_speedup,
+    check_kt_time,
+    check_othello_speedup,
+)
+from repro.experiments.cli import main as cli_main
+from repro.hardware import get_platform
+
+
+def tiny_worker(api):
+    yield from api.barrier("start")
+    t0 = api.now
+    yield from api.compute_seconds(0.01)
+    yield from api.barrier("end")
+    return {"t0": t0, "t1": api.now}
+
+
+# ------------------------------------------------------------- harness
+def test_measure_point_returns_elapsed():
+    m = measure_point(get_platform("linux"), tiny_worker, (), 2)
+    assert isinstance(m, Measurement)
+    assert m.elapsed >= 0.01
+    assert m.n_processors == 2
+    assert "net.collisions" in m.stats
+
+
+def test_measure_point_single_proc_uses_one_machine():
+    m = measure_point(get_platform("linux"), tiny_worker, (), 1)
+    assert m.elapsed >= 0.01
+
+
+def test_sweep_processors_covers_grid():
+    ms = sweep_processors(get_platform("linux"), tiny_worker, (), procs=(1, 2, 3))
+    assert [m.n_processors for m in ms] == [1, 2, 3]
+
+
+def test_default_procs_span_regimes():
+    assert DEFAULT_PROCS[0] == 1
+    assert 6 in DEFAULT_PROCS  # the machine-count knee
+    assert max(DEFAULT_PROCS) == 12  # the doubled virtual cluster
+
+
+# ------------------------------------------------------------- figures
+def test_registry_has_table_and_all_figures():
+    expected = {"table1"} | {f"fig{i}" for i in range(4, 22)}
+    assert set(FIGURES) == expected
+
+
+def test_table1_figure():
+    fig = table1()
+    assert fig.fig_id == "table1"
+    assert len(fig.x_values) == 3
+
+
+def test_figure_data_speedup_variant():
+    fig = FigureData("figX", "t", "p", [1, 2, 4])
+    fig.series["a"] = [8.0, 4.0, 2.0]
+    speed = fig.speedup_variant("figY", "s")
+    assert speed.series["a"] == [1.0, 2.0, 4.0]
+    assert speed.fig_id == "figY"
+
+
+def test_figure_data_to_text():
+    fig = FigureData("figX", "demo", "p", [1, 2])
+    fig.series["a"] = [1.0, 2.0]
+    text = fig.to_text()
+    assert "[figX] demo" in text and "p" in text
+
+
+# ------------------------------------------------------------- checks
+def _mk(fig_id, series, xs=(1, 2, 4, 6, 8, 12)):
+    fig = FigureData(fig_id, "t", "processors", list(xs))
+    fig.series.update(series)
+    return fig
+
+
+def test_gs_check_passes_on_paper_shape():
+    fig = _mk(
+        "fig5",
+        {
+            "N=100": [1, 0.7, 0.4, 0.3, 0.2, 0.1],
+            "N=900": [1, 1.9, 3.1, 3.7, 2.5, 2.3],
+        },
+    )
+    assert all(ok for _, ok in check_gs_speedup(fig))
+
+
+def test_gs_check_fails_on_wrong_shape():
+    fig = _mk(
+        "fig5",
+        {
+            "N=100": [1, 2, 3, 4, 5, 6],  # small N scaling: wrong
+            "N=900": [1, 2, 3, 4, 5, 6],  # no knee: wrong
+        },
+    )
+    assert not all(ok for _, ok in check_gs_speedup(fig))
+
+
+def test_dct_check():
+    good = _mk(
+        "fig11",
+        {
+            "2x2": [1, 0.8, 1.2, 1.5, 1.4, 1.3],
+            "4x4": [1, 1.5, 2.7, 3.4, 3.1, 3.8],
+            "8x8": [1, 1.9, 3.6, 4.7, 3.8, 4.9],
+        },
+    )
+    assert all(ok for _, ok in check_dct_speedup(good))
+
+
+def test_othello_check():
+    good = _mk(
+        "fig16",
+        {
+            "Depth3": [1, 0.3, 0.06, 0.05, 0.05, 0.04],
+            "Depth8": [1, 1.9, 3.3, 4.5, 4.0, 4.6],
+        },
+    )
+    assert all(ok for _, ok in check_othello_speedup(good))
+
+
+def test_kt_check():
+    good = _mk(
+        "fig19",
+        {
+            "8_Jobs": [13.0, 6.5, 4.1, 2.8, 4.2, 2.9],
+            "32_Jobs": [13.0, 7.1, 4.3, 2.6, 4.7, 2.6],
+            "512_Jobs": [13.0, 8.3, 4.6, 3.4, 4.6, 3.6],
+        },
+    )
+    assert all(ok for _, ok in check_kt_time(good))
+
+
+def test_check_figure_dispatch():
+    fig = _mk("fig2", {})
+    assert check_figure(fig) == []  # unknown figure: no checks
+    assert check_figure(table1()) == []
+
+
+# ------------------------------------------------------------- CLI
+def test_cli_list(capsys):
+    assert cli_main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig21" in out
+
+
+def test_cli_unknown_figure(capsys):
+    assert cli_main(["fig99"]) == 2
+
+
+def test_cli_runs_table1(capsys):
+    assert cli_main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "SparcStation" in out
+
+
+def test_cli_fast_figure_with_checks(capsys):
+    rc = cli_main(["fig11", "--fast"])
+    out = capsys.readouterr().out
+    assert "[fig11]" in out
+    assert "PASS" in out
+    assert rc == 0

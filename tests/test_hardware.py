@@ -1,0 +1,112 @@
+"""Tests for CPU/platform models and the Table-1 registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware import (
+    AIX_RS6000,
+    CPUSpec,
+    LINUX_PCAT,
+    NodeSpec,
+    OSCosts,
+    SUNOS_SPARCSTATION,
+    Work,
+    get_platform,
+    platform_names,
+    table1_rows,
+)
+
+
+def test_work_addition_and_scaling():
+    w = Work(flops=10, iops=20, mems=30) + Work(flops=1, iops=2, mems=3)
+    assert (w.flops, w.iops, w.mems) == (11, 22, 33)
+    s = w.scaled(2)
+    assert (s.flops, s.iops, s.mems) == (22, 44, 66)
+    assert s.total_ops == 132
+
+
+def test_cpu_seconds_for():
+    cpu = CPUSpec("test", clock_mhz=100, mflops=10, mips=100, mmemops=50)
+    # 10 MFLOPS -> 1e6 flops takes 0.1 s
+    assert cpu.seconds_for(Work(flops=1e6)) == pytest.approx(0.1)
+    assert cpu.seconds_for(Work(iops=1e6)) == pytest.approx(0.01)
+    assert cpu.seconds_for(Work(mems=1e6)) == pytest.approx(0.02)
+    combined = cpu.seconds_for(Work(flops=1e6, iops=1e6, mems=1e6))
+    assert combined == pytest.approx(0.1 + 0.01 + 0.02)
+
+
+def test_cpu_validation():
+    with pytest.raises(ValueError):
+        CPUSpec("bad", clock_mhz=0, mflops=1, mips=1, mmemops=1)
+
+
+def test_oscosts_validation():
+    with pytest.raises(ValueError):
+        OSCosts(
+            syscall=-1e-6,
+            context_switch=0,
+            signal_delivery=0,
+            protocol_per_message=0,
+            protocol_per_byte=0,
+        )
+
+
+def test_three_platforms_registered():
+    assert platform_names() == ["sunos", "aix", "linux"]
+    assert get_platform("sunos") is SUNOS_SPARCSTATION
+    assert get_platform("aix") is AIX_RS6000
+    assert get_platform("linux") is LINUX_PCAT
+
+
+def test_get_platform_by_display_name():
+    assert get_platform("PentiumII 266MHz / Linux 2.0") is LINUX_PCAT
+
+
+def test_get_platform_unknown():
+    with pytest.raises(ConfigurationError):
+        get_platform("windows-nt")
+
+
+def test_platform_relative_speeds():
+    """The PII/Linux box must be the fastest, SparcStation the slowest —
+    both in raw compute and in OS path costs (era-calibration sanity)."""
+    w = Work(flops=1e6, iops=1e6)
+    t_sun = SUNOS_SPARCSTATION.cpu.seconds_for(w)
+    t_aix = AIX_RS6000.cpu.seconds_for(w)
+    t_linux = LINUX_PCAT.cpu.seconds_for(w)
+    assert t_sun > t_aix > t_linux
+    assert (
+        SUNOS_SPARCSTATION.os_costs.syscall
+        > AIX_RS6000.os_costs.syscall
+        > LINUX_PCAT.os_costs.syscall
+    )
+    assert (
+        SUNOS_SPARCSTATION.os_costs.protocol_per_message
+        > AIX_RS6000.os_costs.protocol_per_message
+        > LINUX_PCAT.os_costs.protocol_per_message
+    )
+
+
+def test_table1_rows():
+    rows = table1_rows()
+    assert len(rows) == 3
+    assert any("SparcStation" in r[0] for r in rows)
+    assert any("RS/6000" in r[0] for r in rows)
+    assert any("Pentium" in r[0] for r in rows)
+
+
+def test_node_spec_defaults():
+    node = NodeSpec(node_id=3, platform=LINUX_PCAT)
+    assert node.hostname == "node03"
+    assert node.global_memory_bytes > 0
+    assert "Linux" in str(node)
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(node_id=-1, platform=LINUX_PCAT)
+
+
+def test_platform_describe():
+    text = SUNOS_SPARCSTATION.describe()
+    assert "SunOS" in text and "syscall" in text

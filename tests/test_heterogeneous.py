@@ -1,0 +1,93 @@
+"""Tests for heterogeneous clusters (mixed platforms in one DSE system).
+
+The paper's stated goal is a *portable* environment across heterogeneous
+UNIX boxes; this verifies a single DSE program runs correctly — and with
+sensible timing — on a cluster mixing all three Table-1 platforms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel_worker, make_system
+from repro.dse import Cluster, ClusterConfig, run_parallel
+from repro.errors import ConfigurationError
+from repro.hardware import AIX_RS6000, LINUX_PCAT, SUNOS_SPARCSTATION
+
+
+MIXED = (SUNOS_SPARCSTATION, AIX_RS6000, LINUX_PCAT)
+
+
+def mixed_cfg(p=3, **kw):
+    return ClusterConfig(n_processors=p, n_machines=3, platforms=MIXED, **kw)
+
+
+def test_machines_get_their_platforms():
+    cluster = Cluster(mixed_cfg())
+    names = [m.platform.name for m in cluster.machines]
+    assert names == [p.name for p in MIXED]
+
+
+def test_platforms_cycle_when_fewer_than_machines():
+    config = ClusterConfig(
+        n_processors=6, n_machines=6, platforms=(SUNOS_SPARCSTATION, LINUX_PCAT)
+    )
+    cluster = Cluster(config)
+    names = [m.platform.name for m in cluster.machines]
+    assert names[0] == names[2] == SUNOS_SPARCSTATION.name
+    assert names[1] == names[3] == LINUX_PCAT.name
+
+
+def test_empty_platforms_rejected():
+    with pytest.raises(ConfigurationError):
+        ClusterConfig(n_processors=2, platforms=())
+
+
+def test_mixed_cluster_runs_correctly():
+    """Same program, mixed machines: results identical to homogeneous."""
+
+    def worker(api):
+        yield from api.gm_write(api.rank, [float(api.rank + 1)])
+        yield from api.barrier("w")
+        data = yield from api.gm_read(0, api.size)
+        return float(data.sum())
+
+    res = run_parallel(mixed_cfg(), worker)
+    assert all(v == 6.0 for v in res.returns.values())
+
+
+def test_mixed_cluster_gauss_seidel_converges():
+    res = run_parallel(mixed_cfg(), gauss_seidel_worker, args=(40, 20))
+    a, b = make_system(40)
+    truth = np.linalg.solve(a, b)
+    assert np.allclose(res.returns[0]["x"], truth, atol=1e-6)
+
+
+def test_slowest_machine_dominates_synchronous_phases():
+    """A barrier-coupled compute phase runs at the SparcStation's pace."""
+
+    def worker(api):
+        yield from api.barrier("start")
+        t0 = api.now
+        yield from api.compute(
+            __import__("repro.hardware", fromlist=["Work"]).Work(flops=1e6)
+        )
+        yield from api.barrier("end")
+        return api.now - t0
+
+    res = run_parallel(mixed_cfg(), worker)
+    phase = res.returns[0]
+    # 1e6 flops on the slowest (4 MFLOPS) machine = 0.25s; the barrier
+    # stretches every rank to at least that.
+    assert phase >= 0.24
+
+
+def test_mixed_cluster_deterministic():
+    def worker(api):
+        yield from api.lock("L")
+        yield from api.unlock("L")
+        yield from api.barrier("b")
+        return api.now
+
+    r1 = run_parallel(mixed_cfg(), worker)
+    r2 = run_parallel(mixed_cfg(), worker)
+    assert r1.returns == r2.returns

@@ -1,0 +1,195 @@
+"""Coverage of remaining error paths and small behaviours across layers."""
+
+import pytest
+
+from repro.dse import Cluster, ClusterConfig, ParallelAPI
+from repro.dse.messages import DSEMessage, MsgType
+from repro.errors import (
+    ConfigurationError,
+    DSEError,
+    OSModelError,
+    ProcessManagementError,
+)
+from repro.hardware import get_platform
+from repro.network import EthernetBus, NIC
+from repro.osmodel import Machine
+from repro.protocol import make_transport
+from repro.sim import RandomStreams, Simulator
+
+
+def built_cluster(p=3, **kw):
+    kw.setdefault("platform", get_platform("linux"))
+    return Cluster(ClusterConfig(n_processors=p, **kw))
+
+
+def drive(cluster, body):
+    """Run a master generator on kernel 0 and return its value."""
+    out = {}
+
+    def driver():
+        api = ParallelAPI(cluster.kernel(0), 0)
+        out["value"] = yield from body(api)
+        yield from cluster.shutdown_from(0)
+
+    cluster.sim.process(driver())
+    cluster.sim.run_all()
+    return out["value"]
+
+
+# ------------------------------------------------------------- procman
+def test_duplicate_rank_invocation_rejected_remotely():
+    cluster = built_cluster()
+
+    def task(api2):
+        yield from api2.sleep(0.01)
+        return True
+
+    def body(api):
+        yield from api.kernel.procman.invoke(1, task, 7, ())
+        with pytest.raises(ProcessManagementError, match="already pending"):
+            yield from api.kernel.procman.invoke(1, task, 7, ())
+        return True
+
+    assert drive(built_cluster(), body) is True
+
+
+def test_rank_exists_on_target_kernel():
+    def task(api2):
+        yield from api2.sleep(0.05)
+        return True
+
+    def body(api):
+        h1 = yield from api.kernel.procman.invoke(1, task, 7, ())
+        # A *different* invoker slot, same rank on the same target kernel.
+        msg = DSEMessage(
+            MsgType.PROC_START_REQ, 0, 1, addr=7, data=(task, ()), extra_bytes=64
+        )
+        rsp = yield from api.kernel.exchange.request(msg)
+        value = yield from api.kernel.procman.wait(h1)
+        return (rsp.status, value)
+
+    status, value = drive(built_cluster(), body)
+    assert status == "rank-exists"
+    assert value is True
+
+
+def test_unexpected_proc_done_raises():
+    def body(api):
+        msg = DSEMessage(MsgType.PROC_DONE, 1, 0, addr=999, data="ghost")
+        with pytest.raises(ProcessManagementError, match="unknown rank"):
+            yield from api.kernel.exchange.notify(msg)
+        return True
+
+    assert drive(built_cluster(), body) is True
+
+
+def test_notify_with_responding_type_rejected():
+    def body(api):
+        msg = DSEMessage(MsgType.GM_READ_REQ, 0, 0, addr=0, nwords=1)
+        with pytest.raises(DSEError, match="produced a response"):
+            yield from api.kernel.exchange.notify(msg)
+        return True
+
+    assert drive(built_cluster(), body) is True
+
+
+# ------------------------------------------------------------- api misc
+def test_api_helpers_and_validation():
+    cluster = built_cluster()
+
+    def body(api):
+        assert api.words_for_bytes(1) == 1
+        assert api.words_for_bytes(9) == 2
+        assert api.slice_words == api.kernel.gmem.slice_words
+        with pytest.raises(DSEError):
+            api.home_base(99)
+        assert "rank=0" in repr(api)
+        yield from api.sleep(0)
+        return True
+
+    assert drive(cluster, body) is True
+
+
+def test_negative_sleep_rejected():
+    def body(api):
+        with pytest.raises(OSModelError):
+            yield from api.sleep(-1)
+        return True
+
+    assert drive(built_cluster(), body) is True
+
+
+# ------------------------------------------------------------- sockets
+def test_socket_poll_counts_pending():
+    sim = Simulator()
+    bus = EthernetBus(sim, RandomStreams(1))
+    machines = []
+    for station in (0, 1):
+        nic = NIC(sim, bus, station)
+        transport = make_transport(sim, nic, "datagram")
+        from repro.hardware import NodeSpec
+
+        machines.append(
+            Machine(sim, NodeSpec(node_id=station, platform=get_platform("linux")), nic, transport)
+        )
+    counts = {}
+
+    def receiver(proc):
+        sock = machines[1].open_socket(proc, 9)
+        yield from proc.sleep(0.01)  # let both messages land unread
+        counts["pending"] = sock.poll()
+        yield from sock.recv()
+        yield from sock.recv()
+        counts["after"] = sock.poll()
+        sock.close()
+
+    def sender(proc):
+        sock = machines[0].open_socket(proc, 8)
+        yield from sock.sendto(1, 9, "a", 8)
+        yield from sock.sendto(1, 9, "b", 8)
+        sock.close()
+
+    machines[1].spawn(receiver)
+    machines[0].spawn(sender)
+    sim.run_all()
+    assert counts == {"pending": 2, "after": 0}
+
+
+# ------------------------------------------------------------- cluster misc
+def test_cluster_kernel_out_of_range():
+    cluster = built_cluster(2)
+    with pytest.raises(ConfigurationError):
+        cluster.kernel(5)
+    with pytest.raises(ConfigurationError):
+        cluster.placement(5)
+
+
+def test_stats_snapshot_keys():
+    cluster = built_cluster(2)
+    cluster.sim.run(until=0.001)
+    snap = cluster.stats_snapshot()
+    for key in (
+        "net.frames_sent",
+        "net.collisions",
+        "msgs_sent",
+        "gm.remote_reads",
+        "max_load_average",
+    ):
+        assert key in snap
+
+
+def test_run_until_event_failure_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def failer():
+        yield sim.timeout(1)
+        ev.fail(ValueError("boom"))
+
+    def waiter():
+        yield ev
+
+    sim.process(failer())
+    p = sim.process(waiter())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(p)

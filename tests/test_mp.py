@@ -1,0 +1,192 @@
+"""Tests for the PVM/MPI-style message-passing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps import make_system
+from repro.dse import ClusterConfig
+from repro.errors import ConfigurationError
+from repro.hardware import get_platform
+from repro.mp import MAX, SUM, gauss_seidel_mp_worker, run_mp
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("platform", get_platform("linux"))
+    return ClusterConfig(n_processors=p, **kw)
+
+
+def test_send_recv_pair():
+    def worker(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, {"x": 1}, 64)
+            return "sent"
+        if comm.rank == 1:
+            msg = yield from comm.recv(src=0)
+            return msg
+        yield from comm.barrier()
+        return None
+
+    # Only 2 ranks to keep the barrier out of the exchange.
+    res = run_mp(cfg(2), worker)
+    assert res.returns[1] == {"x": 1}
+
+
+def test_recv_filters_by_source_and_tag():
+    def worker(comm):
+        if comm.rank == 0:
+            yield from comm.send(2, "from0-t5", 16, tag=5)
+        elif comm.rank == 1:
+            yield from comm.send(2, "from1-t9", 16, tag=9)
+        else:
+            a = yield from comm.recv(tag=9)
+            b = yield from comm.recv(src=0, tag=5)
+            return (a, b)
+        return None
+
+    res = run_mp(cfg(3), worker)
+    assert res.returns[2] == ("from1-t9", "from0-t5")
+
+
+def test_barrier_synchronises():
+    def worker(comm):
+        yield from comm.socket.proc.compute_seconds(0.001 * comm.rank)
+        yield from comm.barrier()
+        return comm.socket.proc.sim.now
+
+    res = run_mp(cfg(4), worker)
+    times = list(res.returns.values())
+    assert max(times) - min(times) < 0.3 * max(times)
+
+
+def test_barrier_reusable():
+    def worker(comm):
+        for _ in range(3):
+            yield from comm.barrier()
+        return True
+
+    res = run_mp(cfg(3), worker)
+    assert all(res.returns.values())
+
+
+def test_bcast():
+    def worker(comm):
+        data = [1, 2, 3] if comm.rank == 0 else None
+        data = yield from comm.bcast(data, nbytes=24, root=0)
+        return data
+
+    res = run_mp(cfg(4), worker)
+    assert all(v == [1, 2, 3] for v in res.returns.values())
+
+
+def test_bcast_nonzero_root():
+    def worker(comm):
+        data = "root2" if comm.rank == 2 else None
+        return (yield from comm.bcast(data, nbytes=5, root=2))
+
+    res = run_mp(cfg(4), worker)
+    assert all(v == "root2" for v in res.returns.values())
+
+
+def test_gather_in_rank_order():
+    def worker(comm):
+        return (yield from comm.gather(comm.rank * 10, nbytes=8, root=0))
+
+    res = run_mp(cfg(4), worker)
+    assert res.returns[0] == [0, 10, 20, 30]
+    assert all(res.returns[r] is None for r in range(1, 4))
+
+
+def test_scatter():
+    def worker(comm):
+        items = [f"item{r}" for r in range(comm.size)] if comm.rank == 0 else None
+        return (yield from comm.scatter(items, nbytes=8, root=0))
+
+    res = run_mp(cfg(4), worker)
+    assert res.returns == {r: f"item{r}" for r in range(4)}
+
+
+def test_scatter_requires_items_at_root():
+    def worker(comm):
+        if comm.rank == 0:
+            # wrong length (3 items for 2 ranks): rejected before any send
+            with pytest.raises(ConfigurationError):
+                yield from comm.scatter([1, 2, 3], nbytes=8, root=0)
+        yield from comm.barrier()
+        return True
+
+    res = run_mp(cfg(2), worker)
+    assert all(res.returns.values())
+
+
+def test_reduce_sum_and_max():
+    def worker(comm):
+        s = yield from comm.reduce(comm.rank + 1, nbytes=8, op=SUM, root=0, tag=40)
+        m = yield from comm.reduce(comm.rank + 1, nbytes=8, op=MAX, root=0, tag=50)
+        return (s, m)
+
+    res = run_mp(cfg(4), worker)
+    assert res.returns[0] == (10, 4)
+
+
+def test_allgather_everyone_gets_everything():
+    def worker(comm):
+        return (yield from comm.allgather(comm.rank**2, nbytes=8))
+
+    res = run_mp(cfg(4), worker)
+    assert all(v == [0, 1, 4, 9] for v in res.returns.values())
+
+
+def test_allreduce():
+    def worker(comm):
+        return (yield from comm.allreduce(1, nbytes=8, op=SUM))
+
+    res = run_mp(cfg(5), worker)
+    assert all(v == 5 for v in res.returns.values())
+
+
+def test_invalid_rank_rejected():
+    def worker(comm):
+        with pytest.raises(ConfigurationError):
+            yield from comm.send(99, None, 1)
+        return True
+
+    res = run_mp(cfg(1, n_machines=1), worker)
+    assert res.returns[0] is True
+
+
+def test_unknown_reduce_op_rejected():
+    def worker(comm):
+        with pytest.raises(ConfigurationError):
+            yield from comm.reduce(1, nbytes=8, op="xor")
+        return True
+
+    res = run_mp(cfg(1, n_machines=1), worker)
+    assert res.returns[0] is True
+
+
+def test_mp_gauss_seidel_converges():
+    res = run_mp(cfg(3), gauss_seidel_mp_worker, args=(50, 25))
+    a, b = make_system(50)
+    truth = np.linalg.solve(a, b)
+    for out in res.returns.values():
+        assert np.allclose(out["x"], truth, atol=1e-6)
+
+
+def test_mp_gauss_seidel_matches_dse_numerics():
+    """Same partitioning and update rule: MP and DSE solutions identical."""
+    from repro.apps import gauss_seidel_worker
+    from repro.dse import run_parallel
+
+    mp_res = run_mp(cfg(3), gauss_seidel_mp_worker, args=(40, 8))
+    dse_res = run_parallel(cfg(3), gauss_seidel_worker, args=(40, 8))
+    assert np.allclose(mp_res.returns[0]["x"], dse_res.returns[0]["x"], atol=1e-12)
+
+
+def test_mp_deterministic():
+    def worker(comm):
+        v = yield from comm.allreduce(comm.rank, nbytes=8)
+        return (v, comm.socket.proc.sim.now)
+
+    r1 = run_mp(cfg(4), worker)
+    r2 = run_mp(cfg(4), worker)
+    assert r1.returns == r2.returns

@@ -1,0 +1,383 @@
+"""Tests for frames, the CSMA/CD bus, the switched LAN, and NICs."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import (
+    BROADCAST,
+    ETH_MIN_PAYLOAD,
+    ETH_MTU,
+    EthernetBus,
+    EthernetFrame,
+    FabricConfig,
+    NIC,
+    SEND_OK,
+    SwitchedLAN,
+    build_network,
+)
+from repro.sim import RandomStreams, Simulator
+
+
+def make_bus(sim, **kw):
+    return EthernetBus(sim, RandomStreams(1234), **kw)
+
+
+# ---------------------------------------------------------------- frames
+def test_frame_wire_size_includes_padding():
+    f = EthernetFrame(src=0, dst=1, payload=None, payload_bytes=1)
+    assert f.wire_bytes == ETH_MIN_PAYLOAD + 18 + 8
+
+
+def test_frame_wire_size_large_payload():
+    f = EthernetFrame(src=0, dst=1, payload=None, payload_bytes=1000)
+    assert f.wire_bytes == 1000 + 26
+
+
+def test_frame_rejects_oversized_payload():
+    with pytest.raises(NetworkError):
+        EthernetFrame(src=0, dst=1, payload=None, payload_bytes=ETH_MTU + 1)
+
+
+def test_frame_rejects_negative_size():
+    with pytest.raises(NetworkError):
+        EthernetFrame(src=0, dst=1, payload=None, payload_bytes=-1)
+
+
+def test_frame_ids_unique():
+    a = EthernetFrame(src=0, dst=1, payload=None, payload_bytes=10)
+    b = EthernetFrame(src=0, dst=1, payload=None, payload_bytes=10)
+    assert a.frame_id != b.frame_id
+
+
+# ---------------------------------------------------------------- bus basics
+def test_bus_single_transmission_delivers():
+    sim = Simulator()
+    bus = make_bus(sim)
+    received = []
+    bus.attach(0, lambda f: None)
+    bus.attach(1, received.append)
+
+    def sender():
+        frame = EthernetFrame(src=0, dst=1, payload="hello", payload_bytes=100)
+        status = yield from bus.send(frame)
+        return status
+
+    p = sim.process(sender())
+    assert sim.run(p) == SEND_OK
+    sim.run_all()
+    assert len(received) == 1
+    assert received[0].payload == "hello"
+
+
+def test_bus_transmission_takes_wire_time():
+    sim = Simulator()
+    bus = make_bus(sim)
+    bus.attach(0, lambda f: None)
+    bus.attach(1, lambda f: None)
+    frame = EthernetFrame(src=0, dst=1, payload=None, payload_bytes=1000)
+    expected_tx = frame.wire_bytes * 8 / 10e6
+
+    def sender():
+        yield from bus.send(frame)
+        return sim.now
+
+    done_at = sim.run(sim.process(sender()))
+    # collision window + transmission time
+    assert done_at == pytest.approx(bus.collision_window + expected_tx)
+
+
+def test_bus_broadcast_reaches_all_but_sender():
+    sim = Simulator()
+    bus = make_bus(sim)
+    received = {i: [] for i in range(4)}
+    for i in range(4):
+        bus.attach(i, received[i].append)
+
+    def sender():
+        yield from bus.send(
+            EthernetFrame(src=2, dst=BROADCAST, payload="b", payload_bytes=50)
+        )
+
+    sim.process(sender())
+    sim.run_all()
+    assert [len(received[i]) for i in range(4)] == [1, 1, 0, 1]
+
+
+def test_bus_unknown_station_rejected():
+    sim = Simulator()
+    bus = make_bus(sim)
+    bus.attach(0, lambda f: None)
+
+    def sender():
+        yield from bus.send(EthernetFrame(src=0, dst=9, payload=None, payload_bytes=10))
+
+    p = sim.process(sender())
+    with pytest.raises(NetworkError):
+        sim.run(p)
+
+
+def test_bus_duplicate_attach_rejected():
+    sim = Simulator()
+    bus = make_bus(sim)
+    bus.attach(0, lambda f: None)
+    with pytest.raises(NetworkError):
+        bus.attach(0, lambda f: None)
+
+
+def test_bus_serialises_senders():
+    """Two stations sending back-to-back must not overlap on the wire."""
+    sim = Simulator()
+    bus = make_bus(sim)
+    deliveries = []
+    bus.attach(0, lambda f: None)
+    bus.attach(1, lambda f: None)
+    bus.attach(2, lambda f: deliveries.append((sim.now, f.src)))
+
+    def sender(src, start):
+        yield sim.timeout(start)
+        yield from bus.send(EthernetFrame(src=src, dst=2, payload=None, payload_bytes=1000))
+
+    # Stagger so they do NOT collide: station 1 starts while 0 transmits,
+    # senses carrier, and defers.
+    sim.process(sender(0, 0.0))
+    sim.process(sender(1, 0.0005))
+    sim.run_all()
+    assert len(deliveries) == 2
+    tx = (1000 + 26) * 8 / 10e6
+    gap = deliveries[1][0] - deliveries[0][0]
+    assert gap >= tx  # second frame fully after the first
+
+
+def test_bus_simultaneous_senders_collide_then_recover():
+    sim = Simulator()
+    bus = make_bus(sim)
+    deliveries = []
+    bus.attach(0, lambda f: None)
+    bus.attach(1, lambda f: None)
+    bus.attach(2, lambda f: deliveries.append(f.src))
+
+    def sender(src):
+        yield from bus.send(EthernetFrame(src=src, dst=2, payload=None, payload_bytes=200))
+
+    sim.process(sender(0))
+    sim.process(sender(1))
+    sim.run_all()
+    assert sorted(deliveries) == [0, 1]
+    assert bus.stats.counter("collisions").value >= 1
+    assert bus.collision_rate() > 0
+
+
+def test_bus_many_contenders_eventually_all_deliver():
+    sim = Simulator()
+    bus = make_bus(sim)
+    n = 8
+    deliveries = []
+    for i in range(n):
+        bus.attach(i, lambda f: None)
+    bus.attach(n, lambda f: deliveries.append(f.src))
+
+    def sender(src):
+        yield from bus.send(EthernetFrame(src=src, dst=n, payload=None, payload_bytes=100))
+
+    for i in range(n):
+        sim.process(sender(i))
+    sim.run_all()
+    assert sorted(deliveries) == list(range(n))
+
+
+def test_bus_backoffs_grow_with_offered_load():
+    """More simultaneous talkers => each frame suffers more collisions
+    before it gets through (counted as per-station backoff events)."""
+
+    def run(n_stations, n_msgs):
+        sim = Simulator()
+        bus = make_bus(sim)
+        sink = n_stations
+        for i in range(n_stations + 1):
+            bus.attach(i, lambda f: None)
+
+        def chatter(src):
+            for _ in range(n_msgs):
+                yield from bus.send(
+                    EthernetFrame(src=src, dst=sink, payload=None, payload_bytes=64)
+                )
+
+        for i in range(n_stations):
+            sim.process(chatter(i))
+        sim.run_all()
+        sent = bus.stats.counter("frames_sent").value
+        assert sent == n_stations * n_msgs
+        return bus.stats.counter("backoffs").value / sent
+
+    light = run(2, 5)
+    heavy = run(10, 5)
+    assert heavy > light
+
+
+def test_bus_utilization_tracked():
+    sim = Simulator()
+    bus = make_bus(sim)
+    bus.attach(0, lambda f: None)
+    bus.attach(1, lambda f: None)
+
+    def sender():
+        yield from bus.send(EthernetFrame(src=0, dst=1, payload=None, payload_bytes=1500))
+
+    sim.process(sender())
+    sim.run_all()
+    assert bus.utilization.average(sim.now) > 0
+
+
+# ---------------------------------------------------------------- switch
+def test_switch_delivers_without_collisions():
+    sim = Simulator()
+    lan = SwitchedLAN(sim)
+    received = []
+    lan.attach(0, lambda f: None)
+    lan.attach(1, received.append)
+
+    def sender():
+        status = yield from lan.send(
+            EthernetFrame(src=0, dst=1, payload="x", payload_bytes=500)
+        )
+        return status
+
+    assert sim.run(sim.process(sender())) == "ok"
+    sim.run_all()
+    assert len(received) == 1
+    assert lan.collision_rate() == 0.0
+
+
+def test_switch_concurrent_distinct_pairs_overlap():
+    """0->1 and 2->3 must proceed in parallel (full duplex, no shared bus)."""
+    sim = Simulator()
+    lan = SwitchedLAN(sim)
+    finish = {}
+    for i in range(4):
+        lan.attach(i, lambda f, i=i: finish.setdefault(i, sim.now))
+
+    def sender(src, dst):
+        yield from lan.send(EthernetFrame(src=src, dst=dst, payload=None, payload_bytes=1500))
+
+    sim.process(sender(0, 1))
+    sim.process(sender(2, 3))
+    sim.run_all()
+    # Both deliveries complete at (almost) the same time: serialisation
+    # happened on distinct links.
+    assert abs(finish[1] - finish[3]) < 1e-9
+
+
+def test_switch_same_downlink_serialises():
+    sim = Simulator()
+    lan = SwitchedLAN(sim)
+    arrivals = []
+    for i in range(3):
+        lan.attach(i, lambda f: arrivals.append(sim.now) if f.dst == 2 else None)
+
+    def sender(src):
+        yield from lan.send(EthernetFrame(src=src, dst=2, payload=None, payload_bytes=1500))
+
+    sim.process(sender(0))
+    sim.process(sender(1))
+    sim.run_all()
+    tx = (1500 + 26) * 8 / 10e6
+    assert len(arrivals) == 2
+    assert arrivals[1] - arrivals[0] >= tx * 0.99
+
+
+def test_switch_broadcast():
+    sim = Simulator()
+    lan = SwitchedLAN(sim)
+    got = []
+    for i in range(3):
+        lan.attach(i, lambda f, i=i: got.append(i))
+
+    def sender():
+        yield from lan.send(EthernetFrame(src=0, dst=BROADCAST, payload=None, payload_bytes=64))
+
+    sim.process(sender())
+    sim.run_all()
+    assert sorted(got) == [1, 2]
+
+
+# ---------------------------------------------------------------- NIC
+def test_nic_enqueue_and_deliver():
+    sim = Simulator()
+    bus = make_bus(sim)
+    nic0 = NIC(sim, bus, 0)
+    nic1 = NIC(sim, bus, 1)
+    got = []
+    nic1.on_receive(got.append)
+
+    def sender():
+        yield nic0.enqueue(EthernetFrame(src=0, dst=1, payload="via-nic", payload_bytes=77))
+
+    sim.process(sender())
+    sim.run_all()
+    assert len(got) == 1 and got[0].payload == "via-nic"
+    assert nic0.stats.counter("tx_done").value == 1
+    assert nic1.stats.counter("rx_frames").value == 1
+
+
+def test_nic_rejects_foreign_source():
+    sim = Simulator()
+    bus = make_bus(sim)
+    nic0 = NIC(sim, bus, 0)
+    NIC(sim, bus, 1)
+    with pytest.raises(NetworkError):
+        nic0.enqueue(EthernetFrame(src=1, dst=0, payload=None, payload_bytes=10))
+
+
+def test_nic_without_callback_queues_frames():
+    sim = Simulator()
+    bus = make_bus(sim)
+    nic0 = NIC(sim, bus, 0)
+    nic1 = NIC(sim, bus, 1)
+
+    def sender():
+        yield nic0.enqueue(EthernetFrame(src=0, dst=1, payload="q", payload_bytes=10))
+
+    sim.process(sender())
+    sim.run_all()
+    assert len(nic1.rx_queue) == 1
+
+
+def test_nic_fifo_transmission_order():
+    sim = Simulator()
+    bus = make_bus(sim)
+    nic0 = NIC(sim, bus, 0)
+    nic1 = NIC(sim, bus, 1)
+    got = []
+    nic1.on_receive(lambda f: got.append(f.payload))
+
+    def sender():
+        for i in range(5):
+            yield nic0.enqueue(EthernetFrame(src=0, dst=1, payload=i, payload_bytes=64))
+
+    sim.process(sender())
+    sim.run_all()
+    assert got == [0, 1, 2, 3, 4]
+
+
+# ---------------------------------------------------------------- topology
+def test_build_network_ethernet():
+    sim = Simulator()
+    net = build_network(sim, RandomStreams(0), 4)
+    assert net.station_ids == [0, 1, 2, 3]
+    assert isinstance(net.fabric, EthernetBus)
+
+
+def test_build_network_switch():
+    sim = Simulator()
+    net = build_network(sim, RandomStreams(0), 3, FabricConfig(kind="switch"))
+    assert isinstance(net.fabric, SwitchedLAN)
+
+
+def test_build_network_validation():
+    from repro.errors import ConfigurationError
+
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        build_network(sim, RandomStreams(0), 0)
+    with pytest.raises(ConfigurationError):
+        FabricConfig(kind="token-ring")

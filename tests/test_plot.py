@@ -1,0 +1,60 @@
+"""Tests for the ASCII plotting module."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import FigureData, ascii_plot, plot_figure
+
+
+def test_basic_plot_dimensions():
+    text = ascii_plot([1, 2, 3, 4], {"a": [1, 2, 3, 4]}, width=40, height=10)
+    lines = text.splitlines()
+    # height rows + axis + x labels + legend
+    assert len(lines) == 10 + 3
+    plot_rows = [l for l in lines if "|" in l]
+    assert len(plot_rows) == 10
+
+
+def test_markers_distinguish_series():
+    text = ascii_plot(
+        [1, 2, 3], {"up": [1, 2, 3], "down": [3, 2, 1]}, width=30, height=8
+    )
+    assert "o down" in text
+    assert "x up" in text
+    assert "o" in text and "x" in text
+
+
+def test_y_range_labels():
+    text = ascii_plot([0, 10], {"s": [0.0, 5.0]}, width=20, height=6)
+    assert "5" in text.splitlines()[0]
+    assert text.splitlines()[5].lstrip().startswith("0|")
+
+
+def test_plot_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_plot([1, 2], {})
+    with pytest.raises(ConfigurationError):
+        ascii_plot([1], {"a": [1.0]})
+    with pytest.raises(ConfigurationError):
+        ascii_plot([1, 2], {"a": [float("nan"), float("nan")]})
+
+
+def test_plot_figure_includes_title():
+    fig = FigureData("figX", "demo figure", "processors", [1, 2, 4])
+    fig.series["a"] = [1.0, 1.5, 2.0]
+    text = plot_figure(fig, width=30, height=8)
+    assert "[figX] demo figure" in text
+    assert "processors" in text
+
+
+def test_plot_figure_skips_non_numeric_series():
+    fig = FigureData("table1", "env", "m", ["a", "b"])
+    fig.series["names"] = ["x", "y"]  # type: ignore[assignment]
+    with pytest.raises(ConfigurationError):
+        plot_figure(fig)
+
+
+def test_flat_series_plot():
+    # constant series must not divide by zero
+    text = ascii_plot([1, 2, 3], {"flat": [2.0, 2.0, 2.0]}, width=20, height=5)
+    assert "o" in text

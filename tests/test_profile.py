@@ -1,0 +1,70 @@
+"""Tests for the run profiler."""
+
+import pytest
+
+from repro.dse import ClusterConfig, RunResult, run_parallel
+from repro.errors import ConfigurationError
+from repro.experiments import profile_result
+from repro.hardware import get_platform
+
+
+def worker(api):
+    yield from api.gm_write(api.rank, [1.0])
+    yield from api.barrier("w")
+    yield from api.gm_read(0, api.size)
+    yield from api.barrier("r")
+    return True
+
+
+def run(p=4):
+    return run_parallel(
+        ClusterConfig(platform=get_platform("sunos"), n_processors=p), worker
+    )
+
+
+def test_profile_structure():
+    profile = profile_result(run())
+    assert len(profile.kernels) == 4
+    assert len(profile.machines) == 4
+    assert profile.fabric["frames_sent"] > 0
+    assert profile.elapsed > 0
+
+
+def test_profile_locality_ratio_bounds():
+    profile = profile_result(run())
+    assert 0.0 <= profile.locality_ratio <= 1.0
+    # Some operations are local (own-slice writes), some remote (reads of
+    # other slices): the ratio must be strictly between the extremes.
+    assert profile.total_local_calls > 0
+    assert profile.total_remote_requests > 0
+
+
+def test_profile_single_processor_is_all_local():
+    profile = profile_result(run(p=1))
+    assert profile.total_remote_requests == 0
+    assert profile.locality_ratio == 1.0
+    assert profile.fabric["frames_sent"] == 0
+
+
+def test_profile_render():
+    text = profile_result(run()).render()
+    assert "per-kernel profile" in text
+    assert "per-machine profile" in text
+    assert "collisions" in text
+    assert "node00" in text
+
+
+def test_profile_requires_cluster():
+    bare = RunResult(elapsed=1.0, returns={})
+    with pytest.raises(ConfigurationError):
+        profile_result(bare)
+
+
+def test_profile_books_balance():
+    """Conservation: every kernel-to-kernel request is served somewhere."""
+    profile = profile_result(run())
+    sent = profile.total_remote_requests
+    served_remote = sum(k["requests_served"] for k in profile.kernels)
+    # requests_served counts wire-arriving requests (incl. barrier/lock
+    # traffic), so it must be at least the gm remote requests we counted.
+    assert served_remote >= sent * 0.5

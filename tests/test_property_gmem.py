@@ -1,0 +1,111 @@
+"""Property-based tests for the DSM: random operation sequences against a
+plain numpy mirror, under both coherence policies."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dse import Cluster, ClusterConfig, ParallelAPI
+from repro.hardware import get_platform
+from repro.protocol import fragment_sizes
+from repro.protocol.packet import UDP_HEADER_BYTES
+
+TOTAL_WORDS = 2048
+BLOCK_WORDS = 32
+
+
+def _op_strategy():
+    addr = st.integers(min_value=0, max_value=TOTAL_WORDS - 1)
+    count = st.integers(min_value=1, max_value=64)
+    kind = st.sampled_from(["read", "write"])
+    return st.tuples(kind, addr, count)
+
+
+def _run_ops(policy, ops):
+    """Drive random reads/writes from the master; mirror with numpy."""
+    config = ClusterConfig(
+        platform=get_platform("linux"),
+        n_processors=3,
+        coherence=policy,
+        total_gm_words=TOTAL_WORDS,
+        block_words=BLOCK_WORDS,
+    )
+    cluster = Cluster(config)
+    mirror = np.zeros(TOTAL_WORDS)
+    mismatches = []
+
+    def master():
+        api = ParallelAPI(cluster.kernel(0), 0)
+        counter = 0.0
+        for kind, addr, count in ops:
+            count = min(count, TOTAL_WORDS - addr)
+            if kind == "write":
+                counter += 1.0
+                values = np.arange(count, dtype=float) + counter
+                yield from api.gm_write(addr, values)
+                mirror[addr : addr + count] = values
+            else:
+                data = yield from api.gm_read(addr, count)
+                if not np.array_equal(data, mirror[addr : addr + count]):
+                    mismatches.append((kind, addr, count))
+        yield from cluster.shutdown_from(0)
+
+    cluster.sim.process(master())
+    cluster.sim.run_all()
+    return mismatches
+
+
+@given(ops=st.lists(_op_strategy(), min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_home_policy_matches_numpy_mirror(ops):
+    assert _run_ops("home", ops) == []
+
+
+@given(ops=st.lists(_op_strategy(), min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_cache_policy_matches_numpy_mirror(ops):
+    assert _run_ops("cache", ops) == []
+
+
+@given(
+    addr=st.integers(min_value=0, max_value=TOTAL_WORDS - 1),
+    count=st.integers(min_value=1, max_value=TOTAL_WORDS),
+)
+@settings(max_examples=100, deadline=None)
+def test_home_runs_partition_exactly(addr, count):
+    """home_runs must partition [addr, addr+count) with no gaps/overlaps
+    and consistent home assignment."""
+    count = min(count, TOTAL_WORDS - addr)
+    cluster = Cluster(
+        ClusterConfig(
+            platform=get_platform("linux"),
+            n_processors=4,
+            total_gm_words=TOTAL_WORDS,
+            block_words=BLOCK_WORDS,
+        )
+    )
+    gm = cluster.kernel(0).gmem
+    runs = gm.home_runs(addr, count)
+    pos = addr
+    for home, start, n in runs:
+        assert start == pos and n > 0
+        assert gm.home_of(start) == home
+        assert gm.home_of(start + n - 1) == home
+        pos += n
+    assert pos == addr + count
+    # adjacent runs have different homes (maximal coalescing)
+    for (h1, _, _), (h2, _, _) in zip(runs, runs[1:]):
+        assert h1 != h2
+
+
+@given(payload=st.integers(min_value=0, max_value=200_000))
+@settings(max_examples=200)
+def test_fragment_sizes_properties(payload):
+    sizes = fragment_sizes(payload)
+    assert sum(sizes) == payload or (payload == 0 and sizes == [0])
+    usable = 1500 - UDP_HEADER_BYTES
+    assert all(0 <= s <= usable for s in sizes)
+    # minimal fragment count
+    import math
+
+    expected = max(1, math.ceil(payload / usable))
+    assert len(sizes) == expected

@@ -1,0 +1,123 @@
+"""Property-based tests for the simulation engine (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.osmodel import ProcessorSharingCPU
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def proc(d):
+        yield sim.timeout(d)
+        fired.append(sim.now)
+
+    for d in delays:
+        sim.process(proc(d))
+    sim.run_all()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=12)
+)
+@settings(max_examples=50, deadline=None)
+def test_processor_sharing_conservation(demands):
+    """PS invariants: every job takes at least its demand; total elapsed is
+    at least the sum of demands (one CPU) and at most sum * (1 + tiny)."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim)  # no context-switch tax
+    completions = []
+
+    def proc(d):
+        yield cpu.execute(d)
+        completions.append((d, sim.now))
+
+    for d in demands:
+        sim.process(proc(d))
+    sim.run_all()
+    assert len(completions) == len(demands)
+    for demand, done_at in completions:
+        assert done_at >= demand - 1e-9
+    total = sum(demands)
+    assert abs(sim.now - total) < 1e-6 * max(1.0, total)
+    assert cpu.load == 0
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0.01, max_value=2.0), min_size=2, max_size=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=30, deadline=None)
+def test_processor_sharing_srpt_order(demands, seed):
+    """With simultaneous arrival and equal sharing, shorter jobs always
+    finish no later than longer ones."""
+    sim = Simulator()
+    cpu = ProcessorSharingCPU(sim)
+    done = {}
+
+    def proc(i, d):
+        yield cpu.execute(d)
+        done[i] = sim.now
+
+    for i, d in enumerate(demands):
+        sim.process(proc(i, d))
+    sim.run_all()
+    order = sorted(range(len(demands)), key=lambda i: demands[i])
+    for a, b in zip(order, order[1:]):
+        assert done[a] <= done[b] + 1e-9
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_store_fifo_property(items):
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(0.1)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            got.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run_all()
+    assert got == items
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    n_users=st.integers(min_value=1, max_value=15),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, n_users):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = 0
+
+    def user():
+        nonlocal max_seen
+        req = res.request()
+        yield req
+        max_seen = max(max_seen, res.count)
+        yield sim.timeout(1.0)
+        res.release(req)
+
+    for _ in range(n_users):
+        sim.process(user())
+    sim.run_all()
+    assert max_seen <= capacity
+    assert res.count == 0
+    assert res.total_requests == n_users

@@ -1,0 +1,70 @@
+"""Golden-value regression pins.
+
+The simulation is fully deterministic, so a handful of canonical runs are
+pinned to their exact observed values.  If a refactor changes any of these
+numbers, either it changed behaviour (fix it) or it *intentionally*
+re-calibrated (update the pins AND regenerate EXPERIMENTS.md).
+
+Pins use a tiny relative tolerance to absorb floating-point reassociation
+across numpy versions; anything beyond 0.1% is a behaviour change.
+"""
+
+import pytest
+
+from repro.apps import (
+    count_tours_seq,
+    knights_tour_workload,
+    othello_workload,
+)
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+
+
+def elapsed_of(worker, args, platform="sunos", p=4, **kw):
+    res = run_parallel(
+        ClusterConfig(platform=get_platform(platform), n_processors=p, **kw),
+        worker,
+        args=args,
+    )
+    return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+
+def test_pin_workload_constants():
+    """Real-computation invariants (cannot drift without an algorithm change)."""
+    tours, nodes = count_tours_seq()
+    assert (tours, nodes) == (304, 1735079)
+    w = knights_tour_workload(32)
+    assert len(w.jobs) == 80
+    assert w.total_nodes == 1735040
+    ow = othello_workload(4)
+    assert len(ow.jobs) == 30
+    assert ow.total_nodes == 896
+    assert ow.best_value == -43
+
+
+def test_pin_gauss_seidel_point():
+    from repro.apps import gauss_seidel_worker
+
+    t = elapsed_of(gauss_seidel_worker, (300, 5, 7, False))
+    assert t == pytest.approx(0.162723, rel=1e-3)
+
+
+def test_pin_dct_point():
+    from repro.apps import dct2_worker
+
+    t = elapsed_of(dct2_worker, (64, 8, 0.25, 11, False))
+    assert t == pytest.approx(0.461430, rel=1e-3)
+
+
+def test_pin_othello_point():
+    from repro.apps import othello_worker
+
+    t = elapsed_of(othello_worker, (5,))
+    assert t == pytest.approx(0.193152, rel=1e-3)
+
+
+def test_pin_knights_tour_point():
+    from repro.apps import knights_tour_worker
+
+    t = elapsed_of(knights_tour_worker, (32,))
+    assert t == pytest.approx(4.326778, rel=1e-3)

@@ -1,0 +1,248 @@
+"""Tests for the single-system-image layer."""
+
+import pytest
+
+from repro.dse import Cluster, ClusterConfig, ParallelAPI, run_master, run_parallel
+from repro.errors import SSIError
+from repro.hardware import get_platform
+from repro.ssi import (
+    GlobalNamespace,
+    KVClient,
+    KVService,
+    SSIFileSystem,
+    SSIView,
+    install_policy,
+    least_loaded,
+    node_info,
+    round_robin_machines,
+)
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("platform", get_platform("linux"))
+    return ClusterConfig(n_processors=p, **kw)
+
+
+def run_with_services(config, master):
+    """run_master with a KV service installed on kernel 0."""
+    from repro.dse.runtime import run_master as _run
+
+    # Build the cluster manually so we can install the service pre-run.
+    cluster = Cluster(config)
+    KVService(cluster.kernel(0))
+    outcome = {}
+
+    def driver():
+        api = ParallelAPI(cluster.kernel(0), 0)
+        outcome["value"] = yield from master(api, cluster)
+        yield from cluster.shutdown_from(0)
+
+    cluster.sim.process(driver())
+    cluster.sim.run_all()
+    return outcome["value"], cluster
+
+
+# ------------------------------------------------------------- namespace
+def test_gpid_roundtrip():
+    gpid = GlobalNamespace.gpid_of(3, 123)
+    assert GlobalNamespace.split(gpid) == (3, 123)
+
+
+def test_gpid_stride_guard():
+    with pytest.raises(SSIError):
+        GlobalNamespace.gpid_of(0, 10**7)
+
+
+def test_process_table_lists_kernels():
+    cluster = Cluster(cfg(4))
+    cluster.sim.run(until=0.001)
+    ns = GlobalNamespace(cluster)
+    rows = ns.processes()
+    kernel_rows = [r for r in rows if r.name.startswith("dse-k")]
+    assert len(kernel_rows) == 4
+    hostnames = {r.hostname for r in rows}
+    assert len(hostnames) == 4
+
+
+def test_resolve_gpid():
+    cluster = Cluster(cfg(2))
+    cluster.sim.run(until=0.001)
+    ns = GlobalNamespace(cluster)
+    row = ns.processes()[0]
+    proc = ns.resolve(row.gpid)
+    assert proc.pid == row.local_pid
+
+
+def test_resolve_bad_gpid():
+    cluster = Cluster(cfg(2))
+    ns = GlobalNamespace(cluster)
+    with pytest.raises(SSIError):
+        ns.resolve(GlobalNamespace.gpid_of(1, 99999))
+    with pytest.raises(SSIError):
+        ns.resolve(GlobalNamespace.gpid_of(77, 1))
+
+
+def test_find_by_name():
+    cluster = Cluster(cfg(2))
+    cluster.sim.run(until=0.001)
+    ns = GlobalNamespace(cluster)
+    assert ns.find("dse-k1") is not None
+    assert ns.find("nonexistent-daemon") is None
+
+
+# ------------------------------------------------------------- views
+def test_uname_presents_single_system():
+    cluster = Cluster(cfg(6))
+    view = SSIView(cluster)
+    text = view.uname()
+    assert "6 processors" in text and "Linux" in text
+
+
+def test_ps_and_top_render():
+    cluster = Cluster(cfg(8, n_machines=6))  # virtual cluster
+    cluster.sim.run(until=0.01)
+    view = SSIView(cluster)
+    ps = view.ps()
+    assert "cluster ps" in ps and "dse-k0" in ps
+    top = view.top()
+    assert "node00" in top
+    # machine 0 hosts kernels 0 and 6 in the 8-on-6 layout
+    assert "k0,k6" in top
+    net = view.netstat()
+    assert "collisions" in net
+
+
+def test_node_info_rpc():
+    def worker(api):
+        infos = []
+        for k in range(api.size):
+            info = yield from node_info(api, k)
+            infos.append(info)
+        return infos
+
+    res = run_parallel(cfg(3), worker)
+    infos = res.returns[0]
+    assert [i["kernel_id"] for i in infos] == [0, 1, 2]
+    assert all("hostname" in i and "load_average" in i for i in infos)
+
+
+# ------------------------------------------------------------- KV + FS
+def test_kv_put_get_delete_list():
+    def master(api, cluster):
+        kv = KVClient(api)
+        yield from kv.put("alpha", 1, 8)
+        yield from kv.put("beta", [2, 3], 16)
+        v = yield from kv.get("alpha")
+        missing = yield from kv.get("gamma", default="dflt")
+        keys = yield from kv.list()
+        removed = yield from kv.delete("alpha")
+        removed_again = yield from kv.delete("alpha")
+        return (v, missing, keys, removed, removed_again)
+
+    value, _ = run_with_services(cfg(2), master)
+    assert value == (1, "dflt", ["alpha", "beta"], True, False)
+
+
+def test_kv_empty_key_rejected():
+    def master(api, cluster):
+        kv = KVClient(api)
+        with pytest.raises(SSIError):
+            yield from kv.put("", 1, 8)
+        return True
+
+    value, _ = run_with_services(cfg(1, n_machines=1), master)
+    assert value is True
+
+
+def test_fs_single_namespace_across_nodes():
+    """A file written on one node must be readable by all other nodes —
+    the single-file-system-image property."""
+    cluster = Cluster(cfg(4))
+    KVService(cluster.kernel(0))
+    seen = {}
+
+    def worker(api):
+        fs = SSIFileSystem(api)
+        if api.rank == 2:
+            yield from fs.write("/etc/motd", "one system image")
+        yield from api.barrier("written")
+        content = yield from fs.read("/etc/motd")
+        seen[api.rank] = content
+        yield from api.barrier("read")
+        return content
+
+    def driver():
+        api = ParallelAPI(cluster.kernel(0), 0)
+        handles = yield from api.spawn_workers(worker)
+        mine = yield from worker(api)
+        yield from api.wait_workers(handles)
+        yield from cluster.shutdown_from(0)
+        return mine
+
+    cluster.sim.process(driver())
+    cluster.sim.run_all()
+    assert seen == {r: "one system image" for r in range(4)}
+
+
+def test_fs_operations():
+    def master(api, cluster):
+        fs = SSIFileSystem(api)
+        yield from fs.write("/home/user/a.txt", "A")
+        yield from fs.write("/home/user/b.txt", "B")
+        yield from fs.write("/home/user/sub/c.txt", "C")
+        names = yield from fs.listdir("/home/user")
+        exists = yield from fs.exists("/home/user/a.txt")
+        yield from fs.append("/home/user/a.txt", "A2")
+        content = yield from fs.read("/home/user/a.txt")
+        yield from fs.unlink("/home/user/b.txt")
+        gone = yield from fs.exists("/home/user/b.txt")
+        return (names, exists, content, gone)
+
+    value, _ = run_with_services(cfg(2), master)
+    names, exists, content, gone = value
+    assert names == ["a.txt", "b.txt", "sub/"]
+    assert exists is True
+    assert content == "AA2"
+    assert gone is False
+
+
+def test_fs_errors():
+    def master(api, cluster):
+        fs = SSIFileSystem(api)
+        with pytest.raises(SSIError):
+            yield from fs.read("/missing")
+        with pytest.raises(SSIError):
+            yield from fs.unlink("/missing")
+        with pytest.raises(SSIError):
+            yield from fs.write("relative/path", "x")
+        return True
+
+    value, _ = run_with_services(cfg(1, n_machines=1), master)
+    assert value is True
+
+
+# ------------------------------------------------------------- placement
+def test_round_robin_machines_policy():
+    cluster = Cluster(cfg(8, n_machines=4))
+    install_policy(cluster, round_robin_machines)
+    placements = [cluster.placement(r) for r in range(8)]
+    machines = [cluster.config.machine_of(k) for k in placements]
+    # First four processes land on four distinct machines.
+    assert len(set(machines[:4])) == 4
+
+
+def test_least_loaded_policy_prefers_idle_machines():
+    cluster = Cluster(cfg(4))
+    cluster.sim.run(until=0.001)  # let the kernels boot
+    install_policy(cluster, least_loaded)
+    # All machines host 1 kernel process; add one extra on machine 0.
+    cluster.machines[0].spawn(lambda proc: iter(()), name="hog")
+    choice = cluster.placement(0)
+    assert cluster.kernel(choice).machine is not cluster.machines[0]
+
+
+def test_placement_policy_validated():
+    cluster = Cluster(cfg(2))
+    install_policy(cluster, lambda rank, c: 99)
+    with pytest.raises(SSIError):
+        cluster.placement(0)

@@ -1,0 +1,96 @@
+"""Tests for the SSI management shell."""
+
+import pytest
+
+from repro.dse import Cluster, ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.ssi import SSIShell, ShellError
+from repro.ssi.namespace import GlobalNamespace
+
+
+def booted_cluster(p=4):
+    cluster = Cluster(
+        ClusterConfig(platform=get_platform("aix"), n_processors=p)
+    )
+    cluster.sim.run(until=0.005)
+    return cluster
+
+
+def test_help_lists_commands():
+    shell = SSIShell(booted_cluster())
+    out = shell.execute("help")
+    for cmd in ("ps", "top", "uname", "pgrep", "stat"):
+        assert cmd in out
+
+
+def test_empty_line_is_noop():
+    shell = SSIShell(booted_cluster())
+    assert shell.execute("") == ""
+
+
+def test_unknown_command():
+    shell = SSIShell(booted_cluster())
+    with pytest.raises(ShellError, match="unknown command"):
+        shell.execute("reboot")
+
+
+def test_uname_ps_top_netstat():
+    shell = SSIShell(booted_cluster())
+    assert "4 processors" in shell.execute("uname")
+    assert "dse-k0" in shell.execute("ps")
+    assert "node00" in shell.execute("top")
+    assert "collisions" in shell.execute("netstat")
+
+
+def test_pgrep_and_stat_roundtrip():
+    cluster = booted_cluster()
+    shell = SSIShell(cluster)
+    gpid = int(shell.execute("pgrep dse-k2"))
+    kernel_id, _ = GlobalNamespace.split(gpid)
+    assert kernel_id == 2
+    stat = shell.execute(f"stat {gpid}")
+    assert "dse-k2" in stat and "running" in stat
+
+
+def test_pgrep_missing():
+    shell = SSIShell(booted_cluster())
+    with pytest.raises(ShellError, match="no process"):
+        shell.execute("pgrep httpd")
+
+
+def test_stat_bad_args():
+    shell = SSIShell(booted_cluster())
+    with pytest.raises(ShellError, match="usage"):
+        shell.execute("stat")
+    with pytest.raises(ShellError, match="integer"):
+        shell.execute("stat abc")
+
+
+def test_info_and_kernels_and_machines():
+    shell = SSIShell(booted_cluster())
+    info = shell.execute("info 1")
+    assert "k1" in info and "node01" in info
+    with pytest.raises(ShellError):
+        shell.execute("info 99")
+    assert "k3" in shell.execute("kernels")
+    assert "AIX" in shell.execute("machines")
+
+
+def test_shell_on_finished_run():
+    """The shell works post-mortem on a cluster a workload ran on."""
+
+    def worker(api):
+        yield from api.gm_write_scalar(api.rank, 1.0)
+        yield from api.barrier("b")
+        return True
+
+    res = run_parallel(
+        ClusterConfig(platform=get_platform("sunos"), n_processors=3), worker
+    )
+    shell = SSIShell(res.cluster)
+    ps = shell.execute("ps")
+    assert "dse-k0" in ps
+    # kernels served real traffic during the run
+    assert any(
+        k.stats.counter("requests_served").value > 0 for k in res.cluster.kernels
+    )

@@ -1,0 +1,135 @@
+"""Tests for the task-farming utility (farm / farm_dynamic)."""
+
+import pytest
+
+from repro.dse import ClusterConfig, farm, farm_dynamic, run_master
+from repro.errors import DSEError
+from repro.hardware import get_platform
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("platform", get_platform("linux"))
+    return ClusterConfig(n_processors=p, **kw)
+
+
+def square_task(api, x):
+    yield from api.compute_seconds(0.001)
+    return x * x
+
+
+def where_task(api, _x):
+    yield from api.sleep(0)
+    return api.kernel.kernel_id
+
+
+def test_farm_results_in_order():
+    def master(api):
+        return (yield from farm(api, square_task, list(range(10))))
+
+    res = run_master(cfg(), master)
+    assert res.returns[0] == [x * x for x in range(10)]
+
+
+def test_farm_round_robin_targets():
+    def master(api):
+        return (yield from farm(api, where_task, list(range(8))))
+
+    res = run_master(cfg(4), master)
+    assert res.returns[0] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_farm_explicit_targets():
+    def master(api):
+        return (yield from farm(api, where_task, list(range(4)), targets=[1, 2]))
+
+    res = run_master(cfg(4), master)
+    assert res.returns[0] == [1, 2, 1, 2]
+
+
+def test_farm_bad_target():
+    def master(api):
+        with pytest.raises(DSEError):
+            yield from farm(api, where_task, [1], targets=[9])
+        return True
+
+    assert run_master(cfg(2), master).returns[0] is True
+
+
+def test_farm_empty_items():
+    def master(api):
+        out = yield from farm(api, square_task, [])
+        yield from api.sleep(0)
+        return out
+
+    assert run_master(cfg(2), master).returns[0] == []
+
+
+def test_farm_runs_concurrently():
+    """10 x 10ms tasks across 5 kernels must take far less than 100ms."""
+
+    def master(api):
+        start = api.now
+
+        def slow_task(api2, x):
+            yield from api2.compute_seconds(0.010)
+            return x
+
+        yield from farm(api, slow_task, list(range(10)))
+        return api.now - start
+
+    elapsed = run_master(cfg(5, n_machines=5), master).returns[0]
+    assert elapsed < 0.06
+
+
+def test_farm_dynamic_matches_farm():
+    def master(api):
+        a = yield from farm(api, square_task, list(range(12)))
+        b = yield from farm_dynamic(api, square_task, list(range(12)))
+        return a, b
+
+    a, b = run_master(cfg(3), master).returns[0]
+    assert a == b
+
+
+def test_farm_dynamic_bounds_in_flight():
+    peak = {"v": 0, "cur": 0}
+
+    def tracking_task(api, x):
+        peak["cur"] += 1
+        peak["v"] = max(peak["v"], peak["cur"])
+        yield from api.compute_seconds(0.005)
+        peak["cur"] -= 1
+        return x
+
+    def master(api):
+        return (
+            yield from farm_dynamic(api, tracking_task, list(range(12)), max_in_flight=3)
+        )
+
+    res = run_master(cfg(4), master)
+    assert res.returns[0] == list(range(12))
+    assert peak["v"] <= 3
+
+
+def test_farm_dynamic_validation():
+    def master(api):
+        with pytest.raises(DSEError):
+            yield from farm_dynamic(api, square_task, [1], max_in_flight=0)
+        return True
+
+    assert run_master(cfg(2), master).returns[0] is True
+
+
+def test_farmed_tasks_share_global_memory():
+    def writer_task(api, slot):
+        yield from api.gm_write_scalar(slot, float(slot * 10))
+        return slot
+
+    def master(api):
+        yield from farm(api, writer_task, [1, 2, 3])
+        vals = []
+        for slot in (1, 2, 3):
+            vals.append((yield from api.gm_read_scalar(slot)))
+        return vals
+
+    assert run_master(cfg(3), master).returns[0] == [10.0, 20.0, 30.0]

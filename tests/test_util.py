@@ -1,0 +1,115 @@
+"""Tests for the util package: units and table rendering."""
+
+import pytest
+
+from repro.util import (
+    KB,
+    MB,
+    MBPS,
+    MS,
+    US,
+    Table,
+    bits,
+    bytes_from_bits,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    render_series,
+    render_table,
+    transmission_time,
+)
+
+
+# ------------------------------------------------------------- units
+def test_constants():
+    assert KB == 1024 and MB == 1024 * 1024
+    assert US == pytest.approx(1e-6) and MS == pytest.approx(1e-3)
+
+
+def test_bits_roundtrip():
+    assert bits(100) == 800
+    assert bytes_from_bits(800) == 100
+
+
+def test_transmission_time():
+    # 1500 bytes at 10 Mbit/s = 1.2 ms
+    assert transmission_time(1500, 10e6) == pytest.approx(1.2e-3)
+    assert transmission_time(0, 10e6) == 0.0
+
+
+def test_transmission_time_validation():
+    with pytest.raises(ValueError):
+        transmission_time(100, 0)
+    with pytest.raises(ValueError):
+        transmission_time(-1, 10e6)
+
+
+def test_fmt_time_scales():
+    assert fmt_time(0) == "0s"
+    assert fmt_time(5e-7) == "0.5us"
+    assert fmt_time(2.5e-3) == "2.50ms"
+    assert fmt_time(1.5) == "1.500s"
+    assert fmt_time(300) == "5.00min"
+    assert fmt_time(-1.5) == "-1.500s"
+
+
+def test_fmt_bytes_scales():
+    assert fmt_bytes(100) == "100B"
+    assert fmt_bytes(2048) == "2.0KiB"
+    assert fmt_bytes(3 * MB) == "3.00MiB"
+
+
+def test_fmt_rate_scales():
+    assert fmt_rate(10e6) == "10.0Mbit/s"
+    assert fmt_rate(9600) == "9.6kbit/s"
+    assert fmt_rate(300) == "300bit/s"
+    assert fmt_rate(MBPS) == "1.0Mbit/s"
+
+
+# ------------------------------------------------------------- tables
+def test_render_table_alignment():
+    text = render_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert len({len(l) for l in lines}) == 1
+    assert "long-name" in lines[3]
+
+
+def test_render_table_title():
+    text = render_table(["x"], [[1]], title="My Title")
+    assert text.splitlines()[0] == "My Title"
+
+
+def test_render_table_ragged_row_rejected():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_render_table_float_formats():
+    text = render_table(["v"], [[0.00001], [12345678.0], [1.5], [0.0]])
+    assert "1.000e-05" in text
+    assert "1.235e+07" in text
+    assert "1.5" in text
+    assert "0" in text
+
+
+def test_render_series():
+    text = render_series("p", [1, 2], {"a": [1.0, 2.0], "b": [3.0]}, title="fig")
+    assert "fig" in text
+    lines = text.splitlines()
+    assert len(lines) == 5  # title + header + sep + 2 rows
+    # shorter series padded with blank
+    assert lines[-1].rstrip().endswith("")
+
+
+def test_table_incremental():
+    t = Table(["a", "b"], title="T")
+    t.add(1, 2)
+    t.add(3, 4)
+    text = str(t)
+    assert "T" in text and "3" in text
+
+
+def test_table_wrong_width():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add(1)

@@ -1,0 +1,87 @@
+"""Tests for the synthetic workload generator and scheduling workers."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    DISTRIBUTIONS,
+    dynamic_schedule_worker,
+    job_sizes,
+    static_schedule_worker,
+)
+from repro.dse import ClusterConfig, run_parallel
+from repro.errors import ApplicationError
+from repro.hardware import get_platform
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("platform", get_platform("linux"))
+    return ClusterConfig(n_processors=p, **kw)
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+def test_job_sizes_mean_and_determinism(distribution):
+    sizes = job_sizes(200, distribution, mean_seconds=0.02, seed=1)
+    assert len(sizes) == 200
+    assert np.mean(sizes) == pytest.approx(0.02, rel=1e-9)
+    assert all(s > 0 for s in sizes)
+    assert sizes == job_sizes(200, distribution, mean_seconds=0.02, seed=1)
+
+
+def test_job_sizes_skew_ordering():
+    """Heavy tail > bimodal > uniform in max/mean skew."""
+    skew = {}
+    for d in DISTRIBUTIONS:
+        sizes = job_sizes(300, d, seed=3)
+        skew[d] = max(sizes) / np.mean(sizes)
+    assert skew["heavy_tail"] > skew["bimodal"] > skew["uniform"]
+
+
+def test_job_sizes_validation():
+    with pytest.raises(ApplicationError):
+        job_sizes(0)
+    with pytest.raises(ApplicationError):
+        job_sizes(10, "gaussian")
+    with pytest.raises(ApplicationError):
+        job_sizes(10, mean_seconds=0)
+
+
+@pytest.mark.parametrize("worker", [static_schedule_worker, dynamic_schedule_worker])
+def test_scheduling_workers_complete_all_jobs(worker):
+    sizes = job_sizes(20, "uniform", mean_seconds=0.002)
+    res = run_parallel(cfg(4), worker, args=(sizes,))
+    assert res.returns[0]["all_done"] is True
+    total = sum(r["jobs_done"] for r in res.returns.values())
+    assert total == 20
+
+
+def test_static_assignment_counts():
+    sizes = job_sizes(10, "uniform", mean_seconds=0.001)
+    res = run_parallel(cfg(3), static_schedule_worker, args=(sizes,))
+    assert [res.returns[r]["jobs_done"] for r in range(3)] == [4, 3, 3]
+
+
+def test_dynamic_beats_static_under_skewed_stacking():
+    """The scheduling trade-off: when the static cyclic deal stacks several
+    long jobs on one rank (imbalance ~2x here), the pulling queue wins
+    despite its per-job lock round trips."""
+    sizes = job_sizes(48, "bimodal", mean_seconds=0.05, seed=7)
+    per_rank = [sum(sizes[j] for j in range(r, len(sizes), 6)) for r in range(6)]
+    assert max(per_rank) / (sum(per_rank) / 6) > 1.7  # the seed stacks badly
+
+    def elapsed(worker):
+        res = run_parallel(cfg(6, platform=get_platform("sunos")), worker, args=(sizes,))
+        return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+    assert elapsed(dynamic_schedule_worker) < elapsed(static_schedule_worker)
+
+
+def test_static_beats_dynamic_with_uniform_tiny_jobs():
+    """...and many uniform tiny jobs favour the overhead-free static deal."""
+    sizes = job_sizes(60, "uniform", mean_seconds=0.0005, seed=9)
+
+    def elapsed(worker):
+        res = run_parallel(cfg(6, platform=get_platform("sunos")), worker, args=(sizes,))
+        return max(r["t1"] - r["t0"] for r in res.returns.values())
+
+    assert elapsed(static_schedule_worker) < elapsed(dynamic_schedule_worker)
