@@ -35,6 +35,19 @@ class ParallelAPI:
     def __init__(self, kernel, rank: int):
         self.kernel = kernel
         self.rank = rank
+        #: cross-layer span recorder (root spans are minted here, at the API
+        #: boundary, and the context travels inside every derived message)
+        self.obs = kernel.obs
+
+    def _root(self, name: str):
+        """Open a root span for one API call (None when tracing is off)."""
+        return self.obs.begin(
+            self.kernel.sim.now, name, "api",
+            self.kernel.obs_pid, self.kernel.obs_tid, None,
+        )
+
+    def _end(self, span) -> None:
+        self.obs.end(span, self.kernel.sim.now)
 
     # -- identity ----------------------------------------------------------
     @property
@@ -65,15 +78,30 @@ class ParallelAPI:
     # -- global memory ------------------------------------------------------
     def gm_alloc(self, nwords: int) -> Generator[Event, Any, int]:
         """Allocate ``nwords`` words of global memory; returns the address."""
-        return (yield from self.kernel.gmem.alloc(nwords))
+        if not self.obs.enabled:
+            return (yield from self.kernel.gmem.alloc(nwords))
+        span = self._root("api.gm_alloc")
+        addr = yield from self.kernel.gmem.alloc(nwords, trace=span.ctx)
+        self._end(span)
+        return addr
 
     def gm_read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
         """Read ``nwords`` float64 words from global memory."""
-        return (yield from self.kernel.gmem.read(addr, nwords))
+        if not self.obs.enabled:
+            return (yield from self.kernel.gmem.read(addr, nwords))
+        span = self._root("api.gm_read")
+        data = yield from self.kernel.gmem.read(addr, nwords, trace=span.ctx)
+        self._end(span)
+        return data
 
     def gm_write(self, addr: int, values: Sequence[float]) -> Generator[Event, Any, None]:
         """Write float64 words into global memory."""
-        yield from self.kernel.gmem.write(addr, values)
+        if not self.obs.enabled:
+            yield from self.kernel.gmem.write(addr, values)
+            return
+        span = self._root("api.gm_write")
+        yield from self.kernel.gmem.write(addr, values, trace=span.ctx)
+        self._end(span)
 
     def gm_read_scalar(self, addr: int) -> Generator[Event, Any, float]:
         data = yield from self.kernel.gmem.read(addr, 1)
@@ -105,16 +133,31 @@ class ParallelAPI:
 
     # -- synchronisation ---------------------------------------------------
     def lock(self, name: str) -> Generator[Event, Any, None]:
-        yield from self.kernel.sync.acquire(name)
+        if not self.obs.enabled:
+            yield from self.kernel.sync.acquire(name)
+            return
+        span = self._root("api.lock")
+        yield from self.kernel.sync.acquire(name, trace=span.ctx)
+        self._end(span)
 
     def unlock(self, name: str) -> Generator[Event, Any, None]:
-        yield from self.kernel.sync.release(name)
+        if not self.obs.enabled:
+            yield from self.kernel.sync.release(name)
+            return
+        span = self._root("api.unlock")
+        yield from self.kernel.sync.release(name, trace=span.ctx)
+        self._end(span)
 
     def barrier(
         self, name: str, parties: Optional[int] = None
     ) -> Generator[Event, Any, None]:
         """Wait until ``parties`` processes (default: all ranks) arrive."""
-        yield from self.kernel.sync.barrier(name, parties or self.size)
+        if not self.obs.enabled:
+            yield from self.kernel.sync.barrier(name, parties or self.size)
+            return
+        span = self._root("api.barrier")
+        yield from self.kernel.sync.barrier(name, parties or self.size, trace=span.ctx)
+        self._end(span)
 
     # -- parallel process management -------------------------------------------
     def spawn_workers(

@@ -32,10 +32,16 @@ class Cluster:
         self.config = config
         self.sim = Simulator()
         self.rng = RandomStreams(config.seed)
+        from ..obs import MetricsSampler, SpanRecorder
         from ..sim.monitor import Tracer
 
         #: per-message trace (populated only when config.trace is set)
         self.tracer = Tracer(enabled=config.trace)
+        #: cross-layer span recorder; every layer below captures it from
+        #: ``sim.obs`` at construction time, so it must exist before any
+        #: network/machine component is built.
+        self.obs = SpanRecorder(enabled=config.obs_trace, limit=config.obs_span_limit)
+        self.sim.obs = self.obs
 
         n_machines = config.machines_used
         self.network = build_network(self.sim, self.rng, n_machines, config.fabric)
@@ -56,6 +62,43 @@ class Cluster:
                 a.exchange.add_route(
                     b.kernel_id, b.machine.station_id, DSE_BASE_PORT + b.kernel_id
                 )
+
+        #: periodic StatSet/gauge sampler (None unless configured)
+        self.metrics: Optional[MetricsSampler] = None
+        if config.obs_metrics_interval > 0:
+            self.metrics = MetricsSampler(self.sim, config.obs_metrics_interval)
+            self._register_metrics_sources(self.metrics)
+            self.metrics.start()
+
+    def _register_metrics_sources(self, sampler) -> None:
+        """Wire the explanatory levels + every subsystem StatSet."""
+        fabric = self.network.fabric
+        if hasattr(fabric, "utilization"):
+            sampler.register("bus.utilization", lambda: fabric.utilization.level)
+        if hasattr(fabric, "collision_rate"):
+            sampler.register("bus.collision_rate", fabric.collision_rate)
+        sampler.register_statset("bus", fabric.stats)
+        for machine in self.machines:
+            host = machine.hostname
+            cpu = machine.cpu
+            sampler.register(f"{host}.run_queue", lambda c=cpu: c.run_queue.level)
+            sampler.register(f"{host}.nic.tx_depth", lambda n=machine.nic: len(n.tx_queue))
+            sampler.register_statset(host, machine.stats)
+            sampler.register_statset(f"{host}.nic", machine.nic.stats)
+        for kernel in self.kernels:
+            gm = kernel.gmem.stats
+            sampler.register_statset(f"k{kernel.kernel_id}.gmem", gm)
+            sampler.register_statset(f"k{kernel.kernel_id}.exchange", kernel.exchange.stats)
+
+            def hit_ratio(stats=gm):
+                local = stats.counter("local_reads").value
+                remote = stats.counter("remote_reads").value
+                # Under the caching policy "hits" replaces "local_reads".
+                local += stats.counter("hits").value
+                total = local + remote + stats.counter("misses").value
+                return local / total if total else 1.0
+
+            sampler.register(f"k{kernel.kernel_id}.gmem.hit_ratio", hit_ratio)
 
     # -- lookups ------------------------------------------------------------
     @property

@@ -107,22 +107,26 @@ class CachingGlobalMemory(GlobalMemoryManager):
         return entry
 
     # -- public API ------------------------------------------------------------
-    def read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
+    def read(
+        self, addr: int, nwords: int, trace: Any = None
+    ) -> Generator[Event, Any, np.ndarray]:
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         out = np.empty(nwords, dtype=np.float64)
         for block, start, lo, hi in self.block_span(addr, nwords):
-            line = yield from self._ensure_cached(block, exclusive=False)
+            line = yield from self._ensure_cached(block, exclusive=False, trace=trace)
             yield from self.kernel.unix_process.compute(Work(mems=hi - lo))
             out[lo - addr : hi - addr] = line.data[lo - start : hi - start]
         self.stats.counter("words_read").increment(nwords)
         return out
 
-    def write(self, addr: int, values: Any) -> Generator[Event, Any, None]:
+    def write(
+        self, addr: int, values: Any, trace: Any = None
+    ) -> Generator[Event, Any, None]:
         data = np.asarray(values, dtype=np.float64).ravel()
         nwords = len(data)
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         for block, start, lo, hi in self.block_span(addr, nwords):
-            line = yield from self._ensure_cached(block, exclusive=True)
+            line = yield from self._ensure_cached(block, exclusive=True, trace=trace)
             yield from self.kernel.unix_process.compute(Work(mems=hi - lo))
             line.data[lo - start : hi - start] = data[lo - addr : hi - addr]
             line.dirty = True
@@ -130,7 +134,7 @@ class CachingGlobalMemory(GlobalMemoryManager):
 
     # -- cache fill --------------------------------------------------------------
     def _ensure_cached(
-        self, block: int, exclusive: bool
+        self, block: int, exclusive: bool, trace: Any = None
     ) -> Generator[Event, Any, CacheLine]:
         while True:
             pending = self._pending.get(block)
@@ -156,6 +160,7 @@ class CachingGlobalMemory(GlobalMemoryManager):
                 dst_kernel=self.home_of(block * self.block_words),
                 addr=block * self.block_words,
                 nwords=self.block_words,
+                trace=trace,
             )
             rsp = yield from self.kernel.exchange.request(msg)
             if rsp.status != "ok":
@@ -198,11 +203,13 @@ class CachingGlobalMemory(GlobalMemoryManager):
             exclusive = msg.msg_type is MsgType.GM_OWN_REQ
             # Recall the current exclusive owner, folding dirty data home.
             if entry.owner is not None and entry.owner != requester:
-                yield from self._recall(entry, block, msg.addr)
+                yield from self._recall(entry, block, msg.addr, trace=msg.trace)
             if exclusive:
                 # Invalidate every other sharer, then grant ownership.
                 for sharer in sorted(entry.sharers - {requester}):
-                    yield from self._send_invalidate(sharer, msg.addr, entry, block)
+                    yield from self._send_invalidate(
+                        sharer, msg.addr, entry, block, trace=msg.trace
+                    )
                 entry.sharers = set()
                 entry.owner = requester
                 self.stats.counter("grants_exclusive").increment()
@@ -217,15 +224,15 @@ class CachingGlobalMemory(GlobalMemoryManager):
             entry.mutex.release(req)
 
     def _recall(
-        self, entry: _DirEntry, block: int, addr: int
+        self, entry: _DirEntry, block: int, addr: int, trace: Any = None
     ) -> Generator[Event, Any, None]:
         owner = entry.owner
         assert owner is not None
-        yield from self._send_invalidate(owner, addr, entry, block)
+        yield from self._send_invalidate(owner, addr, entry, block, trace=trace)
         entry.owner = None
 
     def _send_invalidate(
-        self, holder: int, addr: int, entry: _DirEntry, block: int
+        self, holder: int, addr: int, entry: _DirEntry, block: int, trace: Any = None
     ) -> Generator[Event, Any, None]:
         msg = DSEMessage(
             msg_type=MsgType.GM_INV_REQ,
@@ -233,6 +240,7 @@ class CachingGlobalMemory(GlobalMemoryManager):
             dst_kernel=holder,
             addr=addr,
             nwords=self.block_words,
+            trace=trace,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         self.stats.counter("invalidations_sent").increment()

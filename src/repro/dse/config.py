@@ -45,6 +45,14 @@ class ClusterConfig:
     seed: int = 1999
     #: record per-message trace events (see repro.experiments.timeline)
     trace: bool = False
+    #: record causal spans across all layers (see repro.obs); adds no
+    #: simulation events, so virtual-time results are unchanged
+    obs_trace: bool = False
+    #: sampling period (simulated seconds) for the metrics time-series;
+    #: 0 disables the sampler entirely
+    obs_metrics_interval: float = 0.0
+    #: cap on retained spans (None = unbounded); drops are counted
+    obs_span_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -65,6 +73,10 @@ class ClusterConfig:
             raise ConfigurationError("block_words cannot exceed total_gm_words")
         if self.platforms is not None and len(self.platforms) == 0:
             raise ConfigurationError("platforms tuple cannot be empty")
+        if self.obs_metrics_interval < 0:
+            raise ConfigurationError("obs_metrics_interval cannot be negative")
+        if self.obs_span_limit is not None and self.obs_span_limit < 0:
+            raise ConfigurationError("obs_span_limit cannot be negative")
 
     # -- placement -----------------------------------------------------------
     @property

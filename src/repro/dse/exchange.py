@@ -52,6 +52,7 @@ class MessageExchange:
             kernel.unix_process, DSE_BASE_PORT + kernel.kernel_id
         )
         self.stats = StatSet(f"exchange:k{kernel.kernel_id}")
+        self.obs = kernel.obs
 
     def add_route(self, kernel_id: int, station: int, port: int) -> None:
         self.routes[kernel_id] = (station, port)
@@ -69,6 +70,19 @@ class MessageExchange:
         """Send a request and await its matching response."""
         if not msg.is_request:
             raise DSEError(f"request() called with non-request {msg.msg_type}")
+        span = None
+        if self.obs.enabled and msg.trace is not None:
+            local = msg.dst_kernel == self.kernel.kernel_id
+            span = self.obs.begin(
+                self.sim.now,
+                f"{'call' if local else 'rpc'}:{msg.msg_type.value}",
+                "dse",
+                self.kernel.obs_pid,
+                self.kernel.obs_tid,
+                msg.trace,
+            )
+            # Downstream layers (and the serving kernel) parent to the RPC.
+            msg.trace = span.ctx
         if msg.dst_kernel == self.kernel.kernel_id:
             # Own node: the parallel processing library handles it inline.
             self.stats.counter("local_calls").increment()
@@ -78,10 +92,15 @@ class MessageExchange:
                 # Deferred local reply (e.g. contended local lock): wait for
                 # it to arrive on our own socket like any other response.
                 response = yield from self._await_response(msg.seq)
+            if span is not None:
+                self.obs.end(span, self.sim.now)
             return response
         self.stats.counter("requests_sent").increment()
         yield from self._transmit(msg)
-        return (yield from self._await_response(msg.seq))
+        response = yield from self._await_response(msg.seq)
+        if span is not None:
+            self.obs.end(span, self.sim.now)
+        return response
 
     def notify(self, msg: DSEMessage) -> Generator[Event, Any, None]:
         """Send a one-way message (no response expected)."""
@@ -104,7 +123,8 @@ class MessageExchange:
             # Deferred reply to a local requester: deliver via loopback so the
             # waiting coroutine's socket filter picks it up.
             self.kernel.machine.transport.loopback(
-                self.socket.port, response, response.size_bytes, src_port=self.socket.port
+                self.socket.port, response, response.size_bytes,
+                src_port=self.socket.port, trace=response.trace,
             )
             return
         yield from self._transmit(response)
@@ -118,7 +138,7 @@ class MessageExchange:
             "send",
             (msg.msg_type.value, msg.dst_kernel, msg.size_bytes),
         )
-        yield from self.socket.sendto(station, port, msg, msg.size_bytes)
+        yield from self.socket.sendto(station, port, msg, msg.size_bytes, trace=msg.trace)
 
     def _await_response(self, seq: int) -> Generator[Event, Any, DSEMessage]:
         packet = yield from self.socket.recv(

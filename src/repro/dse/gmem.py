@@ -116,7 +116,9 @@ class GlobalMemoryManager:
         return self.my_lo <= addr and addr + nwords <= self.my_hi
 
     # -- public API (used by the parallel API library) ------------------------
-    def read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
+    def read(
+        self, addr: int, nwords: int, trace: Any = None
+    ) -> Generator[Event, Any, np.ndarray]:
         """Read ``nwords`` words starting at ``addr``."""
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         out = np.empty(nwords, dtype=np.float64)
@@ -134,6 +136,7 @@ class GlobalMemoryManager:
                     dst_kernel=home,
                     addr=start,
                     nwords=count,
+                    trace=trace,
                 )
                 rsp = yield from self.kernel.exchange.request(msg)
                 if rsp.status != "ok":
@@ -143,7 +146,9 @@ class GlobalMemoryManager:
         self.stats.counter("words_read").increment(nwords)
         return out
 
-    def write(self, addr: int, values: Any) -> Generator[Event, Any, None]:
+    def write(
+        self, addr: int, values: Any, trace: Any = None
+    ) -> Generator[Event, Any, None]:
         """Write ``values`` (array-like of float64) starting at ``addr``."""
         data = np.asarray(values, dtype=np.float64).ravel()
         nwords = len(data)
@@ -164,6 +169,7 @@ class GlobalMemoryManager:
                     addr=start,
                     nwords=count,
                     data=chunk,
+                    trace=trace,
                 )
                 rsp = yield from self.kernel.exchange.request(msg)
                 if rsp.status != "ok":
@@ -171,7 +177,7 @@ class GlobalMemoryManager:
             offset += count
         self.stats.counter("words_written").increment(nwords)
 
-    def alloc(self, nwords: int) -> Generator[Event, Any, int]:
+    def alloc(self, nwords: int, trace: Any = None) -> Generator[Event, Any, int]:
         """Allocate ``nwords`` words; kernel 0 is the allocation authority."""
         if nwords <= 0:
             raise GlobalMemoryError(f"allocation size must be positive, got {nwords}")
@@ -180,6 +186,7 @@ class GlobalMemoryManager:
             src_kernel=self.kernel.kernel_id,
             dst_kernel=0,
             nwords=nwords,
+            trace=trace,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":

@@ -43,6 +43,11 @@ class DSEKernel:
 
         # The one UNIX process holding kernel + DSE processes (paper Fig. 2).
         self.unix_process = machine.spawn(self._body, name=f"dse-k{kernel_id}")
+        #: observability recorder + this kernel's span lane (pid = machine,
+        #: tid = the kernel's UNIX process)
+        self.obs = cluster.obs
+        self.obs_pid = machine.station_id
+        self.obs_tid = self.unix_process.pid
         self.exchange = MessageExchange(self)
         self.gmem: GlobalMemoryManager = cluster.make_gmem(self)
         self.sync = SyncManager(self)
@@ -73,9 +78,21 @@ class DSEKernel:
             self.sim.process(self._handle(msg), name=f"k{self.kernel_id}.h{msg.seq}")
 
     def _handle(self, msg: DSEMessage) -> Generator[Event, Any, None]:
+        span = None
+        if self.obs.enabled and msg.trace is not None:
+            span = self.obs.begin(
+                self.sim.now,
+                f"serve:{msg.msg_type.value}",
+                "dse",
+                self.obs_pid,
+                self.obs_tid,
+                msg.trace,
+            )
         response = yield from self.dispatch(msg)
         if response is not None:
             yield from self.exchange.reply(response)
+        if span is not None:
+            self.obs.end(span, self.sim.now)
 
     def dispatch(self, msg: DSEMessage) -> Generator[Event, Any, Optional[DSEMessage]]:
         """Route a request to the owning module; returns the response or

@@ -105,6 +105,9 @@ class DSEMessage:
     seq: int = field(default_factory=lambda: next(_seqs))
     #: extra accounted bytes beyond header+data (e.g. pickled job payloads)
     extra_bytes: int = 0
+    #: observability context (repro.obs.TraceContext) — rides in the header,
+    #: not accounted in size_bytes (ids fit the existing seq/src/dst fields)
+    trace: Any = field(default=None, repr=False, compare=False)
 
     @property
     def is_request(self) -> bool:
@@ -150,6 +153,9 @@ class DSEMessage:
             status=status,
             seq=self.seq,
             extra_bytes=extra_bytes,
+            # Responses inherit the request's trace context so deferred
+            # replies (queued locks, barriers) stay on the requester's tree.
+            trace=self.trace,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -52,31 +52,35 @@ class SyncManager:
         return sum(name.encode()) % self.kernel.cluster_size
 
     # -- client side ----------------------------------------------------------
-    def acquire(self, name: str) -> Generator[Event, Any, None]:
+    def acquire(self, name: str, trace: Any = None) -> Generator[Event, Any, None]:
         msg = DSEMessage(
             msg_type=MsgType.LOCK_REQ,
             src_kernel=self.kernel.kernel_id,
             dst_kernel=self.lock_home(name),
             name=name,
+            trace=trace,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":
             raise DSEError(f"lock acquire {name!r} failed: {rsp.status}")
         self.stats.counter("acquires").increment()
 
-    def release(self, name: str) -> Generator[Event, Any, None]:
+    def release(self, name: str, trace: Any = None) -> Generator[Event, Any, None]:
         msg = DSEMessage(
             msg_type=MsgType.UNLOCK_REQ,
             src_kernel=self.kernel.kernel_id,
             dst_kernel=self.lock_home(name),
             name=name,
+            trace=trace,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":
             raise DSEError(f"lock release {name!r} failed: {rsp.status}")
         self.stats.counter("releases").increment()
 
-    def barrier(self, name: str, parties: int) -> Generator[Event, Any, None]:
+    def barrier(
+        self, name: str, parties: int, trace: Any = None
+    ) -> Generator[Event, Any, None]:
         if parties <= 0:
             raise DSEError(f"barrier parties must be positive, got {parties}")
         msg = DSEMessage(
@@ -86,6 +90,7 @@ class SyncManager:
             name=name,
             nwords=0,
             addr=parties,  # parties rides in the addr field
+            trace=trace,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":

@@ -24,7 +24,7 @@ from .sensitivity import (
     scaled_platform,
     speedup_curve,
 )
-from .timeline import event_log, message_census, render_timeline
+from .timeline import event_log, message_census, render_timeline, span_census
 
 __all__ = [
     "check_figure",
@@ -50,6 +50,7 @@ __all__ = [
     "event_log",
     "message_census",
     "render_timeline",
+    "span_census",
     "bandwidth_sensitivity",
     "peak_of",
     "protocol_sensitivity",

@@ -5,6 +5,13 @@ Installed as ``dse-experiments``::
     dse-experiments --list
     dse-experiments table1 fig5 fig11
     dse-experiments all --fast
+
+The ``trace`` subcommand runs one workload with cross-layer causal tracing
+and exports a Chrome trace-event file (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev) plus, optionally, the metrics time-series::
+
+    dse-experiments trace --workload gauss-seidel --processors 4 \\
+        --out trace.json --metrics metrics.csv
 """
 
 from __future__ import annotations
@@ -19,8 +26,77 @@ from .figures import FIGURES
 
 __all__ = ["main"]
 
+#: workload key -> (import path, worker attr, small default args)
+_TRACE_WORKLOADS = {
+    "gauss-seidel": ("repro.apps.gauss_seidel", "gauss_seidel_worker", (96, 2, 7, False)),
+    "knights-tour": ("repro.apps.knights_tour", "knights_tour_worker", (8,)),
+    "othello": ("repro.apps.othello", "othello_worker", (3,)),
+    "dct2": ("repro.apps.dct2", "dct2_worker", (32, 8, 0.25, 11, False)),
+}
+
+
+def _trace_main(argv: List[str]) -> int:
+    """Run one workload traced and export Chrome trace (+ metrics) files."""
+    import importlib
+
+    from ..dse.config import ClusterConfig
+    from ..dse.runtime import run_parallel
+    from ..hardware.platforms import get_platform, platform_names
+    from ..obs import write_chrome_trace, write_metrics_csv, write_metrics_jsonl
+
+    parser = argparse.ArgumentParser(
+        prog="dse-experiments trace",
+        description="Run one workload with causal tracing and export the spans.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(_TRACE_WORKLOADS), default="gauss-seidel"
+    )
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--platform", choices=platform_names(), default="sunos")
+    parser.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    parser.add_argument(
+        "--metrics", default=None,
+        help="also export the metrics time-series (.csv or .jsonl by extension)",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=0.0005,
+        help="sampling period in simulated seconds (default 0.5 ms)",
+    )
+    parser.add_argument(
+        "--span-limit", type=int, default=None, help="cap on retained spans"
+    )
+    args = parser.parse_args(argv)
+
+    module_name, attr, worker_args = _TRACE_WORKLOADS[args.workload]
+    worker = getattr(importlib.import_module(module_name), attr)
+    config = ClusterConfig(
+        platform=get_platform(args.platform),
+        n_processors=args.processors,
+        obs_trace=True,
+        obs_metrics_interval=args.metrics_interval if args.metrics else 0.0,
+        obs_span_limit=args.span_limit,
+    )
+    result = run_parallel(config, worker, args=worker_args)
+    cluster = result.cluster
+    n_events = write_chrome_trace(cluster.obs, args.out, cluster=cluster)
+    dropped = f" ({cluster.obs.dropped} spans dropped past limit)" if cluster.obs.dropped else ""
+    print(
+        f"{args.workload} p={args.processors} on {args.platform}: "
+        f"elapsed {result.elapsed:.6f}s simulated"
+    )
+    print(f"wrote {n_events} trace events to {args.out}{dropped}")
+    if args.metrics:
+        writer = write_metrics_jsonl if args.metrics.endswith(".jsonl") else write_metrics_csv
+        n_rows = writer(cluster.metrics, args.metrics)
+        print(f"wrote {n_rows} metric samples to {args.metrics}")
+    return 0
+
 
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="dse-experiments",
         description="Regenerate the tables/figures of the DSE/SSI paper (ICPP 1999).",

@@ -27,6 +27,9 @@ class RunProfile:
     kernels: List[Dict[str, float]] = field(default_factory=list)
     machines: List[Dict[str, float]] = field(default_factory=list)
     fabric: Dict[str, float] = field(default_factory=dict)
+    #: span name -> (count, total seconds), from the cross-layer causal
+    #: trace (empty unless the run had ClusterConfig(obs_trace=True))
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     # -- aggregates ---------------------------------------------------------
     @property
@@ -79,6 +82,13 @@ class RunProfile:
         for key, value in self.fabric.items():
             ft.add(key, value)
         parts.append(ft.render())
+        if self.spans:
+            st = Table(["span", "count", "total (s)"], title="causal spans")
+            for name, agg in sorted(
+                self.spans.items(), key=lambda kv: -kv[1]["total"]
+            ):
+                st.add(name, int(agg["count"]), f"{agg['total']:.6g}")
+            parts.append(st.render())
         return "\n\n".join(parts)
 
 
@@ -128,4 +138,8 @@ def profile_result(result: RunResult) -> RunProfile:
         if hasattr(fabric, "utilization")
         else 0.0,
     }
+    for span in cluster.obs.spans:
+        agg = profile.spans.setdefault(span.name, {"count": 0, "total": 0.0})
+        agg["count"] += 1
+        agg["total"] += span.duration
     return profile

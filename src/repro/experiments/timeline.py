@@ -12,13 +12,14 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional
 
-from ..errors import ConfigurationError
 from ..sim.monitor import TraceRecord, Tracer
 from ..util.tables import Table
 
-__all__ = ["render_timeline", "message_census", "event_log"]
+__all__ = ["render_timeline", "message_census", "event_log", "span_census"]
 
 _SHADES = " .:-=+*#%@"
+
+_EMPTY_TRACE = "no events captured (was trace=True set?)"
 
 
 def render_timeline(
@@ -29,9 +30,7 @@ def render_timeline(
     """Per-source heat-map: one lane per kernel, darkness = message rate."""
     records = tracer.filter(kind=kind)
     if not records:
-        raise ConfigurationError(
-            "no trace records — build the cluster with ClusterConfig(trace=True)"
-        )
+        return _EMPTY_TRACE
     t0 = records[0].time
     t1 = max(r.time for r in records)
     span = max(t1 - t0, 1e-12)
@@ -40,7 +39,11 @@ def render_timeline(
         bucket = min(int((record.time - t0) / span * width), width - 1)
         lanes[record.source][bucket] += 1
     peak = max(max(lane) for lane in lanes.values())
-    lines = [f"timeline {t0:.4g}s .. {t1:.4g}s ({len(records)} events, peak {peak}/cell)"]
+    dropped = f", {tracer.dropped} dropped past limit" if tracer.dropped else ""
+    lines = [
+        f"timeline {t0:.4g}s .. {t1:.4g}s "
+        f"({len(records)} events, peak {peak}/cell{dropped})"
+    ]
     for source in sorted(lanes):
         cells = "".join(
             _SHADES[min(int(c / peak * (len(_SHADES) - 1) + (0 if c == 0 else 1)),
@@ -67,9 +70,27 @@ def message_census(tracer: Tracer) -> str:
 
 def event_log(tracer: Tracer, limit: int = 50) -> str:
     """The first ``limit`` raw trace records, one line each."""
+    if not tracer.records:
+        return _EMPTY_TRACE
     lines = []
     for record in tracer.records[:limit]:
         lines.append(f"{record.time:12.6f}s {record.source:>6} {record.kind:<5} {record.detail}")
     if len(tracer.records) > limit:
         lines.append(f"... {len(tracer.records) - limit} more")
     return "\n".join(lines)
+
+
+def span_census(recorder) -> str:
+    """Per-name span counts and total durations from a
+    :class:`repro.obs.SpanRecorder` (the cross-layer causal trace)."""
+    if not recorder.spans:
+        return "no spans captured (was obs_trace=True set?)"
+    counts: Dict[str, int] = defaultdict(int)
+    totals: Dict[str, float] = defaultdict(float)
+    for span in recorder.spans:
+        counts[span.name] += 1
+        totals[span.name] += span.duration
+    table = Table(["span", "count", "total time (s)"], title="span census")
+    for name in sorted(counts, key=lambda n: -totals[n]):
+        table.add(name, counts[name], f"{totals[name]:.6g}")
+    return table.render()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import NetworkError
+from ..obs.spans import NET_TID, NULL_RECORDER
 from ..sim.core import Event, Simulator
 from ..sim.monitor import StatSet, TimeWeighted
 from ..sim.rng import RandomStreams
@@ -70,6 +71,7 @@ class EthernetBus:
 
         self.stats = StatSet(name)
         self.utilization = TimeWeighted(f"{name}.util", start_time=sim.now)
+        self.obs = getattr(sim, "obs", None) or NULL_RECORDER
 
     # -- station management ---------------------------------------------
     def attach(self, station_id: int, deliver: Callable[[EthernetFrame], None]) -> None:
@@ -103,6 +105,11 @@ class EthernetBus:
         if frame.dst != BROADCAST and frame.dst not in self._stations:
             raise NetworkError(f"destination station {frame.dst} is not attached to {self.name}")
         backoff_rng = self.rng.stream(f"backoff:{frame.src}")
+        span = None
+        if self.obs.enabled and frame.trace is not None:
+            span = self.obs.begin(
+                self.sim.now, "eth.tx", "net", frame.src, NET_TID, frame.trace
+            )
         attempts = 0
         while True:
             # Carrier sense: defer while the medium is busy.
@@ -118,12 +125,22 @@ class EthernetBus:
             if outcome == SEND_OK:
                 self.stats.counter("frames_sent").increment()
                 self.stats.counter("bytes_sent").increment(frame.wire_bytes)
+                if span is not None:
+                    span.args = {"attempts": attempts + 1}
+                    self.obs.end(span, self.sim.now)
                 return SEND_OK
             # Collision: back off a random number of slot times.
             attempts += 1
             self.stats.counter("backoffs").increment()
+            if span is not None:
+                self.obs.instant(
+                    self.sim.now, "eth.collision", "net", frame.src, NET_TID, span.ctx
+                )
             if attempts >= self.max_attempts:
                 self.stats.counter("frames_dropped").increment()
+                if span is not None:
+                    span.args = {"attempts": attempts, "dropped": True}
+                    self.obs.end(span, self.sim.now)
                 return SEND_DROPPED
             k = min(attempts, 10)
             slots = backoff_rng.randrange(2**k)

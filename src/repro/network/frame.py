@@ -44,6 +44,9 @@ class EthernetFrame:
     payload: Any
     payload_bytes: int
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    #: observability context (repro.obs.TraceContext) — lets the NIC and the
+    #: bus attribute transmission/collision spans to the causing operation
+    trace: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

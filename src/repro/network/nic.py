@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import NetworkError
+from ..obs.spans import NET_TID, NULL_RECORDER
 from ..sim.core import Event, Simulator
 from ..sim.monitor import StatSet
 from ..sim.resources import Store
@@ -44,6 +45,7 @@ class NIC:
         self.rx_queue: Store = Store(sim, name=f"{self.name}.rx")
         self._rx_callback: Optional[Callable[[EthernetFrame], None]] = None
         self.stats = StatSet(self.name)
+        self.obs = getattr(sim, "obs", None) or NULL_RECORDER
         fabric.attach(station_id, self._on_receive)
         self._driver = sim.process(self._tx_driver(), name=f"{self.name}.driver")
 
@@ -60,6 +62,14 @@ class NIC:
     def _tx_driver(self) -> Generator[Event, Any, None]:
         while True:
             frame = yield self.tx_queue.get()
+            span = None
+            if self.obs.enabled and frame.trace is not None:
+                # The nic.tx span covers queue-head to on-the-wire, so its
+                # gap from the enclosing udp.send start is the queueing delay.
+                span = self.obs.begin(
+                    self.sim.now, "nic.tx", "net", self.station_id, NET_TID, frame.trace
+                )
+                frame.trace = span.ctx
             for attempt in range(self.driver_retries + 1):
                 status = yield from self.fabric.send(frame)
                 if status == "ok":
@@ -69,6 +79,8 @@ class NIC:
                     break
             else:
                 self.stats.counter("tx_dropped").increment()
+            if span is not None:
+                self.obs.end(span, self.sim.now)
 
     # -- receive ------------------------------------------------------------
     def on_receive(self, callback: Callable[[EthernetFrame], None]) -> None:

@@ -1,0 +1,31 @@
+"""Trace identity: the (trace-id, span-id) pair that rides with a request.
+
+A :class:`TraceContext` is minted at the DSE API boundary and carried —
+explicitly, as a field of messages, packets, and frames — down every layer
+the operation touches.  The context is deliberately tiny and immutable in
+practice: propagating it never allocates anything but the context object
+itself, and only when tracing is enabled.
+
+The simulator is single-threaded but interleaves many generator-based
+processes, so an ambient "current span" variable would leak between
+processes across yields; explicit propagation is the only correct scheme
+here (the same reason distributed tracers put span ids in message headers
+rather than thread-locals).
+"""
+
+from __future__ import annotations
+
+__all__ = ["TraceContext"]
+
+
+class TraceContext:
+    """Identity of one span: which trace it belongs to and its span id."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceContext t{self.trace_id}/s{self.span_id}>"

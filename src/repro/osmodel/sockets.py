@@ -6,6 +6,12 @@ Charges follow the paper's accounting of user-level DSE overheads:
   processing on the sender's CPU, then the transport takes the wire.
 * **receive path** — the arrival raises an (accounted) SIGIO, then the
   reader pays context switch + ``recvfrom`` syscall + protocol processing.
+
+When observability is enabled (``ClusterConfig(obs_trace=True)``) and the
+caller supplies a trace context, both paths record spans: ``sock.send``
+covers syscall + protocol processing + transport hand-off, ``sock.recv``
+covers SIGIO wake-up through ``recvfrom``, with a ``sigio`` instant marking
+the asynchronous notification itself.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import OSModelError
+from ..obs.spans import NULL_RECORDER
 from ..protocol.packet import Packet
 from ..protocol.udp import Mailbox
 from ..sim.core import Event
@@ -31,6 +38,9 @@ class Socket:
         self.mailbox: Mailbox = self.machine.transport.bind(port)
         self.closed = False
         self.machine.stats.counter("sockets_open").increment()
+        self.obs = getattr(proc.sim, "obs", None) or NULL_RECORDER
+        self._obs_pid = self.machine.station_id
+        self._obs_tid = proc.pid
 
     # -- send --------------------------------------------------------------
     def sendto(
@@ -39,10 +49,17 @@ class Socket:
         dst_port: int,
         payload: Any,
         payload_bytes: int,
+        trace: Any = None,
     ) -> Generator[Event, Any, None]:
         """Send one message; completes when handed to the NIC (datagram) or
         acknowledged (reliable transport)."""
         self._check_open()
+        span = None
+        if self.obs.enabled and trace is not None:
+            span = self.obs.begin(
+                self.proc.sim.now, "sock.send", "os", self._obs_pid, self._obs_tid, trace
+            )
+            trace = span.ctx
         costs = self.proc.platform.os_costs
         yield from self.proc.syscall("sendto")
         yield from self.proc.compute_seconds(
@@ -53,12 +70,15 @@ class Socket:
         if dst_station == self.machine.station_id:
             # Same machine (virtual cluster): loopback, no wire.
             self.machine.transport.loopback(
-                dst_port, payload, payload_bytes, src_port=self.port
+                dst_port, payload, payload_bytes, src_port=self.port, trace=trace
             )
         else:
             yield from self.machine.transport.send(
-                dst_station, dst_port, payload, payload_bytes, src_port=self.port
+                dst_station, dst_port, payload, payload_bytes,
+                src_port=self.port, trace=trace,
             )
+        if span is not None:
+            self.obs.end(span, self.proc.sim.now)
 
     # -- receive ------------------------------------------------------------
     def recv(
@@ -67,6 +87,11 @@ class Socket:
         """Block for the next (matching) packet, then pay the receive path."""
         self._check_open()
         packet = yield self.mailbox.get(filter)
+        span = None
+        if self.obs.enabled and packet.trace is not None:
+            now = self.proc.sim.now
+            self.obs.instant(now, "sigio", "os", self._obs_pid, self._obs_tid, packet.trace)
+            span = self.obs.begin(now, "sock.recv", "os", self._obs_pid, self._obs_tid, packet.trace)
         costs = self.proc.platform.os_costs
         # SIGIO wakes the process, the kernel switches to it, recvfrom copies
         # the data out, protocol processing is charged per message + byte.
@@ -79,6 +104,8 @@ class Socket:
         )
         self.machine.stats.counter("msgs_received").increment()
         self.machine.stats.counter("bytes_received").increment(packet.payload_bytes)
+        if span is not None:
+            self.obs.end(span, self.proc.sim.now)
         return packet
 
     def poll(self) -> int:

@@ -35,6 +35,9 @@ class Packet:
     payload: Any
     payload_bytes: int
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: observability context (repro.obs.TraceContext) of the send that
+    #: produced this packet; None when tracing is disabled
+    trace: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

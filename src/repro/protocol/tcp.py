@@ -111,6 +111,7 @@ class ReliableService:
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Packet:
         """Local delivery to a reliable port (inherently loss-free, so the
         ack machinery is bypassed)."""
@@ -124,6 +125,7 @@ class ReliableService:
             dst_port=dst_port,
             payload=payload,
             payload_bytes=payload_bytes,
+            trace=trace,
         )
         self.stats.counter("loopback_packets").increment()
         if outer.on_arrival is not None:
@@ -149,6 +151,7 @@ class ReliableService:
             dst_port=packet.dst_port,
             payload=seg.user_payload,
             payload_bytes=packet.payload_bytes,
+            trace=packet.trace,
         )
         self.stats.counter("delivered").increment()
         if outer.on_arrival is not None:
@@ -182,6 +185,7 @@ class ReliableService:
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, Any, None]:
         """Send reliably; completes when the receiver has acknowledged."""
         self._ensure_ack_port()
@@ -193,7 +197,9 @@ class ReliableService:
         while True:
             ack_event = self.sim.event(name=f"ack:{dst}:{dst_port}:{seq}")
             self._ack_events[(dst, dst_port, seq)] = ack_event
-            yield from self.datagram.send(dst, dst_port, seg, payload_bytes, src_port)
+            yield from self.datagram.send(
+                dst, dst_port, seg, payload_bytes, src_port, trace=trace
+            )
             self.stats.counter("segments_sent").increment()
             timer = self.sim.timeout(self.retransmit_timeout)
             outcome = yield self.sim.any_of([ack_event, timer])
@@ -225,7 +231,9 @@ class _GBNStream:
     def __init__(self) -> None:
         self.base = 0  # oldest unacknowledged sequence number
         self.next_seq = 0  # next sequence number to assign
-        self.buffer: Dict[int, Tuple[Any, int, int]] = {}  # seq -> (payload, nbytes, src_port)
+        #: seq -> (payload, nbytes, src_port, trace) — trace rides along so
+        #: go-back-N retransmissions stay on the original causal tree
+        self.buffer: Dict[int, Tuple[Any, int, int, Any]] = {}
         self.timer_epoch = 0  # invalidates outstanding retransmit timers
         self.window_event: Optional[Event] = None  # set while window is full
 
@@ -313,6 +321,7 @@ class WindowedReliableService:
                 dst_port=packet.dst_port,
                 payload=seg.user_payload,
                 payload_bytes=packet.payload_bytes,
+                trace=packet.trace,
             )
             self.stats.counter("delivered").increment()
             if outer.on_arrival is not None:
@@ -320,6 +329,8 @@ class WindowedReliableService:
             outer.queue.put(user_packet)
         else:
             self.stats.counter("out_of_order_dropped").increment()
+        # (the cumulative ack below carries no trace: acks are bookkeeping,
+        # not part of any one message's causal path)
         # Cumulative ack: "next expected" (re-acks repair lost acks).
         self._send_ack(packet.src, packet.dst_port, expected)
 
@@ -360,6 +371,7 @@ class WindowedReliableService:
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, Any, None]:
         """Send one message; completes when it has entered the window (it
         may still be in flight — use :meth:`flush` for a full drain)."""
@@ -372,7 +384,7 @@ class WindowedReliableService:
             yield stream.window_event
         seq = stream.next_seq
         stream.next_seq += 1
-        stream.buffer[seq] = (payload, payload_bytes, src_port)
+        stream.buffer[seq] = (payload, payload_bytes, src_port, trace)
         yield from self._transmit(key, seq)
         self.stats.counter("segments_sent").increment()
         if stream.base < stream.next_seq:
@@ -395,9 +407,10 @@ class WindowedReliableService:
         entry = stream.buffer.get(seq)
         if entry is None:
             return  # acked in the meantime
-        payload, nbytes, src_port = entry
+        payload, nbytes, src_port, trace = entry
         yield from self.datagram.send(
-            dst, dst_port, _Seg(kind="data", seq=seq, user_payload=payload), nbytes, src_port
+            dst, dst_port, _Seg(kind="data", seq=seq, user_payload=payload),
+            nbytes, src_port, trace=trace,
         )
 
     def _arm_timer(self, key: Tuple[int, int], stream: _GBNStream) -> None:
@@ -437,6 +450,7 @@ class WindowedReliableService:
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Packet:
         """Local delivery (loss-free: bypasses the window machinery)."""
         outer = self._bound.get(dst_port)
@@ -449,6 +463,7 @@ class WindowedReliableService:
             dst_port=dst_port,
             payload=payload,
             payload_bytes=payload_bytes,
+            trace=trace,
         )
         self.stats.counter("loopback_packets").increment()
         if outer.on_arrival is not None:

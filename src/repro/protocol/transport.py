@@ -33,6 +33,7 @@ class Transport(Protocol):
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Generator: ...
 
 

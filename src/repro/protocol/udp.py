@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Generator, Optional, Tuple
 from ..errors import ProtocolError
 from ..network.frame import ETH_MTU, EthernetFrame
 from ..network.nic import NIC
+from ..obs.spans import NET_TID, NULL_RECORDER
 from ..sim.core import Event, Simulator
 from ..sim.monitor import StatSet
 from ..sim.resources import Store
@@ -60,6 +61,7 @@ class DatagramService:
         self._ports: Dict[int, Mailbox] = {}
         self._reassembly: Dict[Tuple[int, int], Dict[int, Fragment]] = {}
         self.stats = StatSet(f"udp:{self.station}")
+        self.obs = getattr(sim, "obs", None) or NULL_RECORDER
         nic.on_receive(self._on_frame)
 
     # -- ports ------------------------------------------------------------
@@ -89,8 +91,15 @@ class DatagramService:
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Generator[Event, Any, Packet]:
         """Fragment + enqueue a packet; completes when all fragments queued."""
+        span = None
+        if self.obs.enabled and trace is not None:
+            span = self.obs.begin(
+                self.sim.now, "udp.send", "net", self.station, NET_TID, trace
+            )
+            trace = span.ctx
         packet = Packet(
             src=self.station,
             dst=dst,
@@ -98,6 +107,7 @@ class DatagramService:
             dst_port=dst_port,
             payload=payload,
             payload_bytes=payload_bytes,
+            trace=trace,
         )
         sizes = fragment_sizes(payload_bytes, self.mtu)
         total = len(sizes)
@@ -111,8 +121,11 @@ class DatagramService:
                 dst=dst,
                 payload=fragment,
                 payload_bytes=fragment.wire_payload_bytes,
+                trace=trace,
             )
             yield self.nic.enqueue(frame)
+        if span is not None:
+            self.obs.end(span, self.sim.now)
         return packet
 
     def loopback(
@@ -121,6 +134,7 @@ class DatagramService:
         payload: Any,
         payload_bytes: int,
         src_port: int = 0,
+        trace: Any = None,
     ) -> Packet:
         """Deliver a packet to a local port without touching the wire.
 
@@ -135,6 +149,7 @@ class DatagramService:
             dst_port=dst_port,
             payload=payload,
             payload_bytes=payload_bytes,
+            trace=trace,
         )
         self.stats.counter("loopback_packets").increment()
         self._deliver(packet)

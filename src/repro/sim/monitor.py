@@ -132,6 +132,9 @@ class StatSet:
             out[f"{name}.count"] = t.count
             out[f"{name}.mean"] = t.mean
             out[f"{name}.total"] = t.total
+            if t.count:  # empty tallies hold the inf/-inf sentinels
+                out[f"{name}.min"] = t.min
+                out[f"{name}.max"] = t.max
         return out
 
 
@@ -152,11 +155,14 @@ class Tracer:
         self.enabled = enabled
         self.limit = limit
         self.records: List[TraceRecord] = []
+        #: records discarded because ``limit`` was reached
+        self.dropped = 0
 
     def emit(self, time: float, source: str, kind: str, detail: Any = None) -> None:
         if not self.enabled:
             return
         if self.limit is not None and len(self.records) >= self.limit:
+            self.dropped += 1
             return
         self.records.append(TraceRecord(time, source, kind, detail))
 

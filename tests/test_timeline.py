@@ -1,9 +1,6 @@
 """Tests for tracing and the timeline renderer."""
 
-import pytest
-
 from repro.dse import ClusterConfig, run_parallel
-from repro.errors import ConfigurationError
 from repro.experiments import event_log, message_census, render_timeline
 from repro.hardware import get_platform
 from repro.sim import Tracer
@@ -60,9 +57,20 @@ def test_render_timeline():
     assert all("|" in line for line in lines[1:])
 
 
-def test_render_timeline_empty_trace_rejected():
-    with pytest.raises(ConfigurationError):
-        render_timeline(Tracer(enabled=True))
+def test_render_timeline_empty_trace_friendly():
+    text = render_timeline(Tracer(enabled=True))
+    assert text == "no events captured (was trace=True set?)"
+    assert event_log(Tracer(enabled=True)) == text
+
+
+def test_tracer_counts_drops_and_header_reports_them():
+    tracer = Tracer(enabled=True, limit=3)
+    for i in range(10):
+        tracer.emit(i * 0.001, "k0", "send", ("gm_read_req", 1, 64))
+    assert len(tracer.records) == 3
+    assert tracer.dropped == 7
+    header = render_timeline(tracer).splitlines()[0]
+    assert "7 dropped past limit" in header
 
 
 def test_message_census():
