@@ -1,0 +1,101 @@
+"""Large-virtual-cluster scaling: 6 -> 256 nodes (docs/scaling.md).
+
+The paper stops at 12 processors on 6 machines; this bench drives the same
+system model into the large-cluster regime and backs the two scaling
+claims documented in docs/scaling.md:
+
+* a switched fabric beats the paper's shared bus on simulated completion
+  time once the cluster is large (>= 32 nodes here);
+* global-memory batching reduces the wire-message count per processor on
+  the same configuration (knight's tour, the chattiest workload).
+
+Columns (msgs per processor count, speed-up) come from the same
+``sweep_messages`` helper as ``bench_message_scaling``, so the two benches
+report directly comparable numbers.
+"""
+
+import pytest
+
+from repro.apps import knights_tour_worker
+from repro.experiments.scaling import (
+    measure_scale_point,
+    scale_sweep,
+    scale_table,
+    sweep_messages,
+)
+from repro.network.topology import FabricConfig
+from repro.util.tables import Table
+
+#: node grids; the fast grid still includes the 256-node headline run
+GAUSS_NODES_FAST = (6, 32, 256)
+GAUSS_NODES_FULL = (6, 16, 32, 64, 128, 256)
+BUS_NODES = (6, 32)  # the bus comparison (the bus is the wall-clock hog)
+KNIGHT_NODES_FAST = (6, 24)
+KNIGHT_NODES_FULL = (6, 12, 24, 48)
+
+
+def test_gauss_seidel_large_cluster(benchmark, fast_mode):
+    """Gauss-Seidel to 256 nodes on the switch, bus comparison at 32."""
+    nodes = GAUSS_NODES_FAST if fast_mode else GAUSS_NODES_FULL
+
+    def run():
+        switch = scale_sweep("gauss-seidel", nodes=nodes, fabric="switch", batching=True)
+        bus = [
+            measure_scale_point("gauss-seidel", n, fabric="ethernet", batching=True)
+            for n in BUS_NODES
+        ]
+        return switch, bus
+
+    switch, bus = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + scale_table(switch, title="gauss-seidel on the switch").render())
+    print("\n" + scale_table(bus, title="gauss-seidel on the paper's bus").render())
+
+    by_nodes = {p.nodes: p for p in switch}
+    # The 256-node headline run completes end-to-end.
+    assert by_nodes[256].elapsed > 0
+    assert by_nodes[256].msgs > 0
+    # Fixed problem size: past the knee, adding nodes costs elapsed time
+    # (communication dominates) — the regime docs/scaling.md discusses.
+    assert by_nodes[6].elapsed < by_nodes[256].elapsed
+    assert by_nodes[32].msgs_per_proc < by_nodes[256].msgs_per_proc
+    # The switch beats the bus on simulated completion time at >= 32 nodes.
+    bus32 = next(p for p in bus if p.nodes == 32)
+    assert by_nodes[32].elapsed < bus32.elapsed
+
+
+def test_knights_tour_batching_wins(benchmark, fast_mode):
+    """Batching cuts per-processor wire messages on the chattiest workload."""
+    nodes = KNIGHT_NODES_FAST if fast_mode else KNIGHT_NODES_FULL
+    args = (max(2 * nodes[-1], 64), 5, 0)
+    config = {"fabric": FabricConfig(kind="switch"), "n_machines": nodes[-1]}
+
+    def run():
+        unbatched_msgs, unbatched_times = sweep_messages(
+            knights_tour_worker, args, nodes, platform="linux",
+            config_kwargs=dict(config, gmem_batching=False),
+        )
+        batched_msgs, batched_times = sweep_messages(
+            knights_tour_worker, args, nodes, platform="linux",
+            config_kwargs=dict(config, gmem_batching=True),
+        )
+        return unbatched_msgs, unbatched_times, batched_msgs, batched_times
+
+    unbatched_msgs, unbatched_times, batched_msgs, batched_times = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table = Table(
+        ["config"]
+        + [f"msgs(p={p})" for p in nodes]
+        + [f"msgs/proc(p={p})" for p in nodes],
+        title=f"knight's tour {args[0]} jobs: write combining",
+    )
+    for label, msgs in (("unbatched", unbatched_msgs), ("batched", batched_msgs)):
+        table.add(label, *msgs, *[round(m / p, 1) for m, p in zip(msgs, nodes)])
+    print("\n" + table.render())
+
+    # Batching reduces wire messages per processor at every cluster size.
+    for p, um, bm in zip(nodes, unbatched_msgs, batched_msgs):
+        assert bm < um, f"batching did not reduce messages at {p} nodes"
+    # And never slows the simulated run down.
+    for ut, bt in zip(unbatched_times, batched_times):
+        assert bt <= ut * 1.05

@@ -130,6 +130,8 @@ class TourJob:
 
 @dataclass(frozen=True)
 class KnightsTourWorkload:
+    """A pre-expanded job pool: the tour prefixes handed out to workers."""
+
     board: int
     start: int
     n_jobs_requested: int

@@ -141,10 +141,15 @@ class ParallelAPI:
         self._end(span)
 
     def unlock(self, name: str) -> Generator[Event, Any, None]:
+        # Releasing a lock is a synchronisation point: combined writes must
+        # reach their homes before another process can acquire the lock and
+        # read them.
         if not self.obs.enabled:
+            yield from self.kernel.gmem.flush()
             yield from self.kernel.sync.release(name)
             return
         span = self._root("api.unlock")
+        yield from self.kernel.gmem.flush(trace=span.ctx)
         yield from self.kernel.sync.release(name, trace=span.ctx)
         self._end(span)
 
@@ -152,10 +157,14 @@ class ParallelAPI:
         self, name: str, parties: Optional[int] = None
     ) -> Generator[Event, Any, None]:
         """Wait until ``parties`` processes (default: all ranks) arrive."""
+        # A barrier is a synchronisation point: flush combined writes before
+        # entering so they are visible to everyone on the other side.
         if not self.obs.enabled:
+            yield from self.kernel.gmem.flush()
             yield from self.kernel.sync.barrier(name, parties or self.size)
             return
         span = self._root("api.barrier")
+        yield from self.kernel.gmem.flush(trace=span.ctx)
         yield from self.kernel.sync.barrier(name, parties or self.size, trace=span.ctx)
         self._end(span)
 

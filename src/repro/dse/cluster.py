@@ -146,6 +146,8 @@ class Cluster:
     def shutdown_from(self, kernel_id: int = 0) -> Generator[Event, Any, None]:
         """Stop every kernel's service loop (drive from a DSE process)."""
         origin = self.kernel(kernel_id)
+        # Drain the origin's combined writes while every home still serves.
+        yield from origin.gmem.flush()
         for k in range(self.size):
             yield from origin.request_shutdown_of(k)
 
@@ -172,6 +174,15 @@ class Cluster:
         )
         out["gm.local_writes"] = sum(
             k.gmem.stats.counter("local_writes").value for k in self.kernels
+        )
+        out["gm.combined_reads"] = sum(
+            k.gmem.stats.counter("combined_reads").value for k in self.kernels
+        )
+        out["gm.batch_flushes"] = sum(
+            k.gmem.stats.counter("batch_flushes").value for k in self.kernels
+        )
+        out["gm.batched_runs"] = sum(
+            k.gmem.stats.counter("batched_runs").value for k in self.kernels
         )
         out["max_load_average"] = max(m.load_average() for m in self.machines)
         return out

@@ -111,6 +111,8 @@ class CachingGlobalMemory(GlobalMemoryManager):
         self, addr: int, nwords: int, trace: Any = None
     ) -> Generator[Event, Any, np.ndarray]:
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        if self.batching:
+            yield from self._prefetch_blocks(addr, nwords, exclusive=False, trace=trace)
         out = np.empty(nwords, dtype=np.float64)
         for block, start, lo, hi in self.block_span(addr, nwords):
             line = yield from self._ensure_cached(block, exclusive=False, trace=trace)
@@ -125,6 +127,8 @@ class CachingGlobalMemory(GlobalMemoryManager):
         data = np.asarray(values, dtype=np.float64).ravel()
         nwords = len(data)
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        if self.batching:
+            yield from self._prefetch_blocks(addr, nwords, exclusive=True, trace=trace)
         for block, start, lo, hi in self.block_span(addr, nwords):
             line = yield from self._ensure_cached(block, exclusive=True, trace=trace)
             yield from self.kernel.unix_process.compute(Work(mems=hi - lo))
@@ -178,6 +182,76 @@ class CachingGlobalMemory(GlobalMemoryManager):
             if not marker.triggered:
                 marker.succeed()
 
+    # -- batched fills (gmem_batching) ----------------------------------------
+    def _prefetch_blocks(
+        self, addr: int, nwords: int, exclusive: bool, trace: Any = None
+    ) -> Generator[Event, Any, None]:
+        """Fetch runs of contiguous missing blocks with one message each.
+
+        Only whole misses (no line, no fill in flight) are grouped; upgrades
+        and pending blocks fall through to :meth:`_ensure_cached`, which
+        does the per-block bookkeeping.  Runs shorter than two blocks are
+        not worth a special message and fall through too.
+        """
+        missing = [
+            block
+            for block, _start, _lo, _hi in self.block_span(addr, nwords)
+            if block not in self._pending and block not in self._cache
+        ]
+        run: list = []
+        runs = []
+        for block in missing:
+            if run and (
+                block != run[-1] + 1
+                or self.home_of(block * self.block_words)
+                != self.home_of(run[0] * self.block_words)
+            ):
+                runs.append(run)
+                run = []
+            run.append(block)
+        if run:
+            runs.append(run)
+        for blocks in runs:
+            if len(blocks) >= 2:
+                yield from self._fetch_group(blocks, exclusive, trace=trace)
+
+    def _fetch_group(
+        self, blocks: list, exclusive: bool, trace: Any = None
+    ) -> Generator[Event, Any, None]:
+        """One multi-block fill: all blocks share a home and a pending
+        marker; lines are installed synchronously on response."""
+        marker = self.kernel.sim.event(name=f"fill:b{blocks[0]}..b{blocks[-1]}")
+        for block in blocks:
+            self._pending[block] = marker
+        self.stats.counter("misses").increment(len(blocks))
+        self.stats.counter("batched_fills").increment()
+        try:
+            addr = blocks[0] * self.block_words
+            msg = DSEMessage(
+                msg_type=MsgType.GM_OWN_REQ if exclusive else MsgType.GM_FETCH_REQ,
+                src_kernel=self.kernel.kernel_id,
+                dst_kernel=self.home_of(addr),
+                addr=addr,
+                nwords=len(blocks) * self.block_words,
+                trace=trace,
+            )
+            rsp = yield from self.kernel.exchange.request(msg)
+            if rsp.status != "ok":
+                raise GlobalMemoryError(f"coherence fill failed: {rsp.status}")
+            data = np.asarray(rsp.data, dtype=np.float64)
+            state = EXCLUSIVE if exclusive else SHARED
+            # Install SYNCHRONOUSLY (no yields), as in _ensure_cached.
+            for i, block in enumerate(blocks):
+                self._cache[block] = CacheLine(
+                    data[i * self.block_words : (i + 1) * self.block_words].copy(),
+                    state,
+                )
+        finally:
+            for block in blocks:
+                del self._pending[block]
+            if not marker.triggered:
+                marker.succeed()
+
     # -- home-side directory + holder-side invalidation ------------------------
     def handle_coherence(
         self, msg: DSEMessage
@@ -192,36 +266,49 @@ class CachingGlobalMemory(GlobalMemoryManager):
         raise GlobalMemoryError(f"unexpected coherence message {t}")
 
     def _handle_fill(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
-        block = self.block_of(msg.addr)
         if not self._owns(msg.addr, msg.nwords):
             return msg.make_response(status="not-home", nwords=0)
-        entry = self._dir_entry(block)
-        req = entry.mutex.request()
-        yield req
+        # A batched fill covers several whole blocks; the single-block case
+        # is just a span of one.  ALL block mutexes are taken upfront in
+        # ascending order — never incrementally — so two overlapping batched
+        # fills cannot deadlock, and no per-block directory state is touched
+        # until every involved transaction before us has fully drained.
+        blocks = list(
+            range(self.block_of(msg.addr), self.block_of(msg.addr + msg.nwords - 1) + 1)
+        )
+        entries = [self._dir_entry(block) for block in blocks]
+        reqs = []
         try:
+            for entry in entries:
+                req = entry.mutex.request()
+                yield req
+                reqs.append(req)
             requester = msg.src_kernel
             exclusive = msg.msg_type is MsgType.GM_OWN_REQ
-            # Recall the current exclusive owner, folding dirty data home.
-            if entry.owner is not None and entry.owner != requester:
-                yield from self._recall(entry, block, msg.addr, trace=msg.trace)
-            if exclusive:
-                # Invalidate every other sharer, then grant ownership.
-                for sharer in sorted(entry.sharers - {requester}):
-                    yield from self._send_invalidate(
-                        sharer, msg.addr, entry, block, trace=msg.trace
-                    )
-                entry.sharers = set()
-                entry.owner = requester
-                self.stats.counter("grants_exclusive").increment()
-            else:
-                if entry.owner == requester:
-                    entry.owner = None  # downgrade: owner re-reading via fetch
-                entry.sharers.add(requester)
-                self.stats.counter("grants_shared").increment()
+            for block, entry in zip(blocks, entries):
+                addr = block * self.block_words
+                # Recall the current exclusive owner, folding dirty data home.
+                if entry.owner is not None and entry.owner != requester:
+                    yield from self._recall(entry, block, addr, trace=msg.trace)
+                if exclusive:
+                    # Invalidate every other sharer, then grant ownership.
+                    for sharer in sorted(entry.sharers - {requester}):
+                        yield from self._send_invalidate(
+                            sharer, addr, entry, block, trace=msg.trace
+                        )
+                    entry.sharers = set()
+                    entry.owner = requester
+                    self.stats.counter("grants_exclusive").increment()
+                else:
+                    if entry.owner == requester:
+                        entry.owner = None  # downgrade: owner re-reading via fetch
+                    entry.sharers.add(requester)
+                    self.stats.counter("grants_shared").increment()
             yield from self.kernel.unix_process.compute(Work(mems=msg.nwords, iops=120))
             return msg.make_response(data=self._local_read(msg.addr, msg.nwords))
         finally:
-            entry.mutex.release(req)
+            for entry, req in zip(entries, reqs):
+                entry.mutex.release(req)
 
     def _recall(
         self, entry: _DirEntry, block: int, addr: int, trace: Any = None

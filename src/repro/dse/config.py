@@ -42,6 +42,14 @@ class ClusterConfig:
     coherence: str = "home"
     total_gm_words: int = 1 << 22  # 32 MiB of global memory
     block_words: int = 128  # 1 KiB blocks
+    #: global-memory message batching (the large-cluster scaling layer):
+    #: remote writes are combined per home and flushed as one wire message
+    #: at synchronisation points, concurrent identical remote reads share
+    #: one fetch, and (under the caching policy) contiguous missing blocks
+    #: are fetched with one multi-block message.  Data values are unchanged
+    #: for data-race-free programs; the simulated clock differs because
+    #: fewer, larger messages hit the wire (see docs/scaling.md).
+    gmem_batching: bool = False
     seed: int = 1999
     #: record per-message trace events (see repro.experiments.timeline)
     trace: bool = False

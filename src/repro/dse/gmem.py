@@ -11,11 +11,27 @@ operations.
 Addresses are in **words** (one word = one float64 = 8 bytes); a
 ``block_words`` granularity exists for the caching ablation
 (:mod:`repro.dse.coherence`) and for allocator alignment.
+
+With ``ClusterConfig(gmem_batching=True)`` (the large-cluster scaling
+layer) the manager additionally batches global-memory traffic:
+
+* **write combining** — remote writes are buffered per home, contiguous
+  and overlapping runs are merged (latest write wins), and each home's
+  buffer goes out as one ``GM_WBATCH_REQ`` wire message when flushed.
+  Flushes happen at synchronisation points (lock release, barrier, DSE
+  process completion), before any read that overlaps a buffered run, and
+  when a home's buffer exceeds :data:`WC_FLUSH_WORDS`.
+* **read combining** — concurrent remote reads of the same ``(addr,
+  nwords)`` range share a single in-flight request; late joiners wait on
+  the leader's marker event instead of sending their own message.
+
+Batching never changes the values a data-race-free program observes — it
+changes *when* writes hit the wire, and therefore the simulated clock.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -28,11 +44,15 @@ from .messages import DSEMessage, MsgType
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import DSEKernel
 
-__all__ = ["GlobalMemoryManager"]
+__all__ = ["GlobalMemoryManager", "WC_FLUSH_WORDS"]
 
 #: fixed library cost of one global-memory operation (argument checking,
 #: address translation) regardless of locality
 _GM_CALL_WORK = Work(iops=80)
+
+#: write-combining buffer cap per home (words); a buffer past this size is
+#: flushed immediately so batching bounds memory and staleness
+WC_FLUSH_WORDS = 16384
 
 
 class GlobalMemoryManager:
@@ -59,6 +79,14 @@ class GlobalMemoryManager:
         #: bump allocator (kernel 0 is the allocation authority)
         self._alloc_next = 0
         self.stats = StatSet(f"gmem:k{kernel.kernel_id}")
+        #: message batching (large-cluster scaling layer; see module docs)
+        self.batching = bool(
+            getattr(getattr(kernel.cluster, "config", None), "gmem_batching", False)
+        )
+        #: write-combining buffers: home kernel -> [(start, words), ...]
+        self._wc: Dict[int, List[Tuple[int, np.ndarray]]] = {}
+        #: read-combining table: (start, count) -> in-flight marker event
+        self._read_inflight: Dict[Tuple[int, int], Event] = {}
 
     # -- address arithmetic -------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -121,6 +149,8 @@ class GlobalMemoryManager:
     ) -> Generator[Event, Any, np.ndarray]:
         """Read ``nwords`` words starting at ``addr``."""
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
+        if self.batching and self._wc:
+            yield from self._flush_overlapping(addr, nwords, trace=trace)
         out = np.empty(nwords, dtype=np.float64)
         offset = 0
         for home, start, count in self.home_runs(addr, nwords):
@@ -128,23 +158,62 @@ class GlobalMemoryManager:
                 self.stats.counter("local_reads").increment()
                 yield from self.kernel.unix_process.compute(Work(mems=count))
                 out[offset : offset + count] = self._local_read(start, count)
+            elif self.batching:
+                chunk = yield from self._remote_read_combined(home, start, count, trace)
+                out[offset : offset + count] = chunk
             else:
-                self.stats.counter("remote_reads").increment()
-                msg = DSEMessage(
-                    msg_type=MsgType.GM_READ_REQ,
-                    src_kernel=self.kernel.kernel_id,
-                    dst_kernel=home,
-                    addr=start,
-                    nwords=count,
-                    trace=trace,
+                out[offset : offset + count] = yield from self._remote_read(
+                    home, start, count, trace
                 )
-                rsp = yield from self.kernel.exchange.request(msg)
-                if rsp.status != "ok":
-                    raise GlobalMemoryError(f"remote read failed: {rsp.status}")
-                out[offset : offset + count] = rsp.data
             offset += count
         self.stats.counter("words_read").increment(nwords)
         return out
+
+    def _remote_read(
+        self, home: int, start: int, count: int, trace: Any = None
+    ) -> Generator[Event, Any, np.ndarray]:
+        """One request/response round trip for a single-home run."""
+        self.stats.counter("remote_reads").increment()
+        msg = DSEMessage(
+            msg_type=MsgType.GM_READ_REQ,
+            src_kernel=self.kernel.kernel_id,
+            dst_kernel=home,
+            addr=start,
+            nwords=count,
+            trace=trace,
+        )
+        rsp = yield from self.kernel.exchange.request(msg)
+        if rsp.status != "ok":
+            raise GlobalMemoryError(f"remote read failed: {rsp.status}")
+        return np.asarray(rsp.data, dtype=np.float64)
+
+    def _remote_read_combined(
+        self, home: int, start: int, count: int, trace: Any = None
+    ) -> Generator[Event, Any, np.ndarray]:
+        """Remote read through the read-combining table.
+
+        The first reader of a ``(start, count)`` range becomes the leader
+        and sends the wire message; readers that arrive while it is in
+        flight wait on the leader's marker and share the response.
+        """
+        key = (start, count)
+        pending = self._read_inflight.get(key)
+        if pending is not None:
+            self.stats.counter("combined_reads").increment()
+            status, data = yield pending
+            if status != "ok":
+                raise GlobalMemoryError(f"remote read failed: {status}")
+            return data
+        marker = self.kernel.sim.event(name=f"gmrd:{start}+{count}")
+        self._read_inflight[key] = marker
+        status, data = "error", None
+        try:
+            data = yield from self._remote_read(home, start, count, trace)
+            status = "ok"
+            return data
+        finally:
+            del self._read_inflight[key]
+            marker.succeed((status, data))
 
     def write(
         self, addr: int, values: Any, trace: Any = None
@@ -160,6 +229,15 @@ class GlobalMemoryManager:
                 self.stats.counter("local_writes").increment()
                 yield from self.kernel.unix_process.compute(Work(mems=count))
                 self._local_write(start, chunk)
+            elif self.batching:
+                self.stats.counter("remote_writes").increment()
+                self.stats.counter("combined_writes").increment()
+                # Buffer locally (one memory copy); the wire message goes
+                # out at the next flush point.
+                yield from self.kernel.unix_process.compute(Work(mems=count))
+                self._buffer_write(home, start, chunk)
+                if sum(len(d) for _, d in self._wc[home]) > WC_FLUSH_WORDS:
+                    yield from self.flush(homes=(home,), trace=trace)
             else:
                 self.stats.counter("remote_writes").increment()
                 msg = DSEMessage(
@@ -176,6 +254,80 @@ class GlobalMemoryManager:
                     raise GlobalMemoryError(f"remote write failed: {rsp.status}")
             offset += count
         self.stats.counter("words_written").increment(nwords)
+
+    # -- write combining (batching mode) --------------------------------------
+    def _buffer_write(self, home: int, start: int, chunk: np.ndarray) -> None:
+        """Fold one write run into ``home``'s combining buffer.
+
+        Runs are kept non-overlapping; a new run absorbs every buffered run
+        it overlaps or touches, and its own data is laid down last so the
+        latest write wins.
+        """
+        runs = self._wc.setdefault(home, [])
+        lo, hi = start, start + len(chunk)
+        merged: List[Tuple[int, np.ndarray]] = []
+        kept: List[Tuple[int, np.ndarray]] = []
+        for run in runs:
+            rlo, rhi = run[0], run[0] + len(run[1])
+            (merged if (rlo <= hi and lo <= rhi) else kept).append(run)
+        if not merged:
+            runs.append((start, chunk.copy()))
+            return
+        new_lo = min(lo, min(r[0] for r in merged))
+        new_hi = max(hi, max(r[0] + len(r[1]) for r in merged))
+        buf = np.zeros(new_hi - new_lo, dtype=np.float64)
+        for rlo, rdata in merged:
+            buf[rlo - new_lo : rlo - new_lo + len(rdata)] = rdata
+        buf[lo - new_lo : hi - new_lo] = chunk
+        kept.append((new_lo, buf))
+        self._wc[home] = kept
+
+    def _flush_overlapping(
+        self, addr: int, nwords: int, trace: Any = None
+    ) -> Generator[Event, Any, None]:
+        """Flush every home whose buffer overlaps ``[addr, addr+nwords)`` so
+        a read always observes this kernel's own buffered writes."""
+        lo, hi = addr, addr + nwords
+        homes = [
+            home
+            for home, runs in self._wc.items()
+            if any(rlo < hi and lo < rlo + len(rdata) for rlo, rdata in runs)
+        ]
+        if homes:
+            yield from self.flush(homes=homes, trace=trace)
+
+    def flush(
+        self, homes: Optional[Any] = None, trace: Any = None
+    ) -> Generator[Event, Any, None]:
+        """Send buffered write runs, one ``GM_WBATCH_REQ`` per home.
+
+        Called at synchronisation points (lock release, barrier, DSE
+        process completion) and before overlapping reads.  A no-op unless
+        batching is enabled and something is buffered.
+        """
+        if not self._wc:
+            return
+        targets = sorted(self._wc) if homes is None else sorted(set(homes) & set(self._wc))
+        for home in targets:
+            runs = self._wc.pop(home)
+            runs.sort(key=lambda r: r[0])
+            total = int(sum(len(d) for _, d in runs))
+            self.stats.counter("batch_flushes").increment()
+            self.stats.counter("batched_runs").increment(len(runs))
+            msg = DSEMessage(
+                msg_type=MsgType.GM_WBATCH_REQ,
+                src_kernel=self.kernel.kernel_id,
+                dst_kernel=home,
+                addr=runs[0][0],
+                nwords=total,
+                data=tuple(runs),
+                # per-run descriptor (addr + length) beyond the word payload
+                extra_bytes=8 * len(runs),
+                trace=trace,
+            )
+            rsp = yield from self.kernel.exchange.request(msg)
+            if rsp.status != "ok":
+                raise GlobalMemoryError(f"batched write failed: {rsp.status}")
 
     def alloc(self, nwords: int, trace: Any = None) -> Generator[Event, Any, int]:
         """Allocate ``nwords`` words; kernel 0 is the allocation authority."""
@@ -207,6 +359,23 @@ class GlobalMemoryManager:
         yield from self.kernel.unix_process.compute(Work(mems=msg.nwords))
         self._local_write(msg.addr, np.asarray(msg.data, dtype=np.float64))
         self.stats.counter("served_writes").increment()
+        return msg.make_response(nwords=0)
+
+    def handle_write_batch(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
+        """Apply a ``GM_WBATCH_REQ``: ``msg.data`` is a tuple of
+        ``(start, words)`` runs, all homed here."""
+        runs = tuple(msg.data or ())
+        total = int(sum(len(d) for _, d in runs))
+        for start, words in runs:
+            if not self._owns(start, len(words)):
+                return msg.make_response(status="not-home", nwords=0)
+        # One handler dispatch amortised over all runs: per-word copy cost
+        # plus a small per-run unpacking overhead.
+        yield from self.kernel.unix_process.compute(Work(mems=total, iops=40 * len(runs)))
+        for start, words in runs:
+            self._local_write(start, np.asarray(words, dtype=np.float64))
+        self.stats.counter("served_batches").increment()
+        self.stats.counter("served_writes").increment(len(runs))
         return msg.make_response(nwords=0)
 
     def handle_alloc(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:

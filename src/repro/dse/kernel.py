@@ -102,6 +102,8 @@ class DSEKernel:
             return (yield from self.gmem.handle_read(msg))
         if t is MsgType.GM_WRITE_REQ:
             return (yield from self.gmem.handle_write(msg))
+        if t is MsgType.GM_WBATCH_REQ:
+            return (yield from self.gmem.handle_write_batch(msg))
         if t is MsgType.GM_ALLOC_REQ:
             return (yield from self.gmem.handle_alloc(msg))
         if t in (
@@ -157,6 +159,9 @@ class DSEKernel:
 
         def run() -> Generator[Event, Any, Any]:
             value = yield from entry(api, *args)
+            # Completion is a synchronisation point: push out any combined
+            # writes before the invoker learns this process is done.
+            yield from self.gmem.flush()
             yield from self.procman.notify_done(rank, invoker, value)
             return value
 

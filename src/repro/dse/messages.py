@@ -37,6 +37,10 @@ class MsgType(Enum):
     GM_WRITE_RSP = "gm_write_rsp"
     GM_ALLOC_REQ = "gm_alloc_req"
     GM_ALLOC_RSP = "gm_alloc_rsp"
+    #: write-combining batch: ``data`` is a tuple of ``(addr, words)`` runs,
+    #: ``nwords`` their total word count (one wire message per home)
+    GM_WBATCH_REQ = "gm_wbatch_req"
+    GM_WBATCH_RSP = "gm_wbatch_rsp"
     # coherence (write-invalidate ablation)
     GM_FETCH_REQ = "gm_fetch_req"  # fetch block copy (shared)
     GM_FETCH_RSP = "gm_fetch_rsp"
@@ -126,6 +130,7 @@ class DSEMessage:
         """Word payload rides on write/fetch requests and read responses."""
         return self.msg_type in (
             MsgType.GM_WRITE_REQ,
+            MsgType.GM_WBATCH_REQ,
             MsgType.GM_READ_RSP,
             MsgType.GM_FETCH_RSP,
             MsgType.GM_OWN_RSP,

@@ -12,6 +12,12 @@ https://ui.perfetto.dev) plus, optionally, the metrics time-series::
 
     dse-experiments trace --workload gauss-seidel --processors 4 \\
         --out trace.json --metrics metrics.csv
+
+The ``scale`` subcommand sweeps a workload across large virtual clusters
+(see :mod:`repro.experiments.scaling` and ``docs/scaling.md``)::
+
+    dse-experiments scale --workload gauss-seidel --nodes 6,32,64 \\
+        --fabric switch
 """
 
 from __future__ import annotations
@@ -97,6 +103,10 @@ def main(argv: List[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "scale":
+        from .scaling import scale_main
+
+        return scale_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="dse-experiments",
         description="Regenerate the tables/figures of the DSE/SSI paper (ICPP 1999).",

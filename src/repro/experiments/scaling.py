@@ -1,0 +1,275 @@
+"""Large-virtual-cluster scaling experiments (``dse-experiments scale``).
+
+The paper's measurements stop at 12 processors on 6 machines.  This module
+asks what the same system model predicts for *large* virtual clusters —
+tens to hundreds of nodes — where the two scaling levers added for that
+regime matter: the switched fabric (``FabricConfig(kind="switch")``)
+replaces the collision-bound shared bus, and global-memory batching
+(``ClusterConfig(gmem_batching=True)``) coalesces the DSM chatter.
+
+One measurement = one (workload, nodes, fabric, batching) point, reporting
+the simulated elapsed time, achieved speed-up over one processor, total and
+per-processor wire-message counts, and the *simulation cost* (host
+wall-clock and events processed) so the engine's own scaling is visible
+next to the model's.
+
+Used three ways: the ``dse-experiments scale`` subcommand (see
+:func:`scale_main`), ``benchmarks/bench_large_cluster.py``, and
+``docs/scaling.md`` (whose quoted numbers come from the CLI).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..dse.config import ClusterConfig
+from ..dse.runtime import run_parallel
+from ..hardware.platforms import get_platform
+from ..network.topology import FabricConfig
+from ..util.tables import Table
+
+__all__ = [
+    "SCALE_WORKLOADS",
+    "ScalePoint",
+    "measure_scale_point",
+    "scale_sweep",
+    "scale_table",
+    "sweep_messages",
+    "parse_int_list",
+    "scale_main",
+]
+
+
+def _gauss_seidel_args(nodes: int, size: int) -> tuple:
+    # Fixed problem size (strong scaling); every rank gets >= 1 row.
+    return (max(size, nodes), 2, 7, False)
+
+
+def _knights_tour_args(nodes: int, size: int) -> tuple:
+    # Work divisions grow with the cluster, as the paper's Figures 19-21
+    # vary "the number of divisions in the problem".
+    return (max(2 * nodes, size), 5, 0)
+
+
+#: workload key -> (import path, worker attr, args builder(nodes, size))
+SCALE_WORKLOADS: Dict[str, Tuple[str, str, Callable[[int, int], tuple]]] = {
+    "gauss-seidel": ("repro.apps.gauss_seidel", "gauss_seidel_worker", _gauss_seidel_args),
+    "knights-tour": ("repro.apps.knights_tour", "knights_tour_worker", _knights_tour_args),
+}
+
+#: default problem size per workload (gauss-seidel: matrix order;
+#: knights-tour: minimum job count)
+DEFAULT_SIZE = {"gauss-seidel": 256, "knights-tour": 0}
+
+#: default node grid: the paper's regime, then the large-cluster regime
+DEFAULT_NODES = (6, 16, 32, 64)
+
+
+@dataclass
+class ScalePoint:
+    """One (workload, nodes, fabric, batching) measurement."""
+
+    workload: str
+    nodes: int
+    fabric: str
+    batching: bool
+    elapsed: float  # simulated seconds (processing phase, max over ranks)
+    msgs: int  # wire messages across the whole run
+    events: int  # simulation events processed (engine cost)
+    wall_seconds: float  # host wall-clock of the simulation run
+    speedup: Optional[float] = None  # vs the same workload on 1 processor
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def msgs_per_proc(self) -> float:
+        return self.msgs / self.nodes
+
+
+def _resolve_worker(workload: str) -> Callable[..., Generator]:
+    import importlib
+
+    try:
+        module_name, attr, _ = SCALE_WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale workload {workload!r}; expected {sorted(SCALE_WORKLOADS)}"
+        ) from None
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def measure_scale_point(
+    workload: str,
+    nodes: int,
+    fabric: str = "switch",
+    batching: bool = True,
+    machines: Optional[int] = None,
+    platform: str = "linux",
+    size: Optional[int] = None,
+) -> ScalePoint:
+    """Run one workload at ``nodes`` processors and collect the metrics.
+
+    ``machines`` defaults to ``nodes`` — a real large cluster, one kernel
+    per machine; pass fewer to study virtual-cluster doubling at scale.
+    """
+    worker = _resolve_worker(workload)
+    args_of = SCALE_WORKLOADS[workload][2]
+    args = args_of(nodes, DEFAULT_SIZE[workload] if size is None else size)
+    config = ClusterConfig(
+        platform=get_platform(platform),
+        n_processors=nodes,
+        n_machines=nodes if machines is None else machines,
+        fabric=FabricConfig(kind=fabric),
+        gmem_batching=batching,
+    )
+    start = time.time()
+    result = run_parallel(config, worker, args=args)
+    wall = time.time() - start
+    elapsed = max(out["t1"] - out["t0"] for out in result.returns.values())
+    return ScalePoint(
+        workload=workload,
+        nodes=nodes,
+        fabric=fabric,
+        batching=batching,
+        elapsed=elapsed,
+        msgs=int(result.stats["msgs_sent"]),
+        events=result.cluster.sim.events_processed,
+        wall_seconds=wall,
+        stats=result.stats,
+    )
+
+
+def scale_sweep(
+    workload: str,
+    nodes: Sequence[int] = DEFAULT_NODES,
+    fabric: str = "switch",
+    batching: bool = True,
+    machines: Optional[int] = None,
+    platform: str = "linux",
+    size: Optional[int] = None,
+) -> List[ScalePoint]:
+    """Measure a node grid and fill in speed-ups against one processor."""
+    baseline = measure_scale_point(
+        workload, 1, fabric, batching, machines=1, platform=platform, size=size
+    )
+    points = []
+    for n in nodes:
+        point = measure_scale_point(
+            workload, n, fabric, batching, machines=machines, platform=platform, size=size
+        )
+        point.speedup = baseline.elapsed / point.elapsed if point.elapsed else None
+        points.append(point)
+    return points
+
+
+def scale_table(points: Sequence[ScalePoint], title: str = "large-cluster scaling") -> Table:
+    """Render scale points as the report table the docs quote."""
+    table = Table(
+        [
+            "workload", "nodes", "fabric", "batch",
+            "elapsed(s)", "speedup", "msgs", "msgs/proc",
+            "events", "wall(s)",
+        ],
+        title=title,
+    )
+    for p in points:
+        table.add(
+            p.workload,
+            p.nodes,
+            p.fabric,
+            "on" if p.batching else "off",
+            round(p.elapsed, 6),
+            round(p.speedup, 2) if p.speedup else "-",
+            p.msgs,
+            round(p.msgs_per_proc, 1),
+            p.events,
+            round(p.wall_seconds, 1),
+        )
+    return table
+
+
+# -- shared sweep helper (bench_message_scaling + bench_large_cluster) --------
+def sweep_messages(
+    worker: Callable[..., Generator],
+    args: tuple,
+    procs: Sequence[int],
+    platform: str = "sunos",
+    config_kwargs: Optional[dict] = None,
+) -> Tuple[List[int], List[float]]:
+    """Total wire messages and elapsed time at each processor count.
+
+    The common core of the message-accounting benches: both
+    ``bench_message_scaling`` and ``bench_large_cluster`` report columns
+    produced by this function, so their numbers are directly comparable.
+    """
+    msgs: List[int] = []
+    times: List[float] = []
+    for p in procs:
+        kwargs = dict(config_kwargs or {})
+        kwargs.setdefault("platform", get_platform(platform))
+        kwargs.setdefault("n_processors", p)
+        if p == 1:
+            kwargs.setdefault("n_machines", 1)
+        result = run_parallel(ClusterConfig(**kwargs), worker, args=args)
+        msgs.append(int(result.stats["msgs_sent"]))
+        times.append(max(r["t1"] - r["t0"] for r in result.returns.values()))
+    return msgs, times
+
+
+def parse_int_list(text: str) -> Tuple[int, ...]:
+    """Parse a ``6,32,64``-style comma list (the CLI/env sweep format)."""
+    try:
+        values = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ValueError(f"expected a comma-separated integer list, got {text!r}") from None
+    if not values or any(v < 1 for v in values):
+        raise ValueError(f"processor counts must be positive integers, got {text!r}")
+    return values
+
+
+def scale_main(argv: List[str]) -> int:
+    """``dse-experiments scale`` — sweep a workload across cluster sizes."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="dse-experiments scale",
+        description="Measure DSE scaling on large virtual clusters.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(SCALE_WORKLOADS), default="gauss-seidel"
+    )
+    parser.add_argument(
+        "--nodes", type=parse_int_list, default=DEFAULT_NODES,
+        help="comma-separated processor counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--fabric", choices=("ethernet", "switch"), default="switch",
+        help="network fabric (default: switch; ethernet is the paper's bus)",
+    )
+    parser.add_argument(
+        "--no-batching", action="store_true",
+        help="disable global-memory message batching (on by default)",
+    )
+    parser.add_argument(
+        "--machines", type=int, default=None,
+        help="physical machines (default: one per node; fewer doubles kernels up)",
+    )
+    parser.add_argument("--platform", default="linux")
+    parser.add_argument(
+        "--size", type=int, default=None,
+        help="problem size (gauss-seidel: matrix order; knights-tour: min jobs)",
+    )
+    args = parser.parse_args(argv)
+
+    points = scale_sweep(
+        args.workload,
+        nodes=args.nodes,
+        fabric=args.fabric,
+        batching=not args.no_batching,
+        machines=args.machines,
+        platform=args.platform,
+        size=args.size,
+    )
+    print(scale_table(points, title=f"{args.workload} scaling ({args.platform})").render())
+    return 0

@@ -25,6 +25,8 @@ __all__ = ["MPRunResult", "run_mp"]
 
 @dataclass
 class MPRunResult:
+    """Result of a message-passing run: elapsed time, per-rank returns, stats."""
+
     elapsed: float
     returns: Dict[int, Any]
     stats: Dict[str, float] = field(default_factory=dict)

@@ -1,10 +1,25 @@
-"""Switched full-duplex LAN (ablation alternative to the shared bus).
+"""Switched full-duplex LAN (the large-cluster alternative to the bus).
 
-Each station gets a private full-duplex link to a store-and-forward switch;
-there are no collisions, only per-link serialisation and queueing plus a
-fixed switch forwarding latency.  The network ablation bench swaps this in
-for :class:`repro.network.ethernet.EthernetBus` to isolate the collision
-effect the paper blames for the Knight's-Tour degradation.
+Each station gets a private full-duplex link to a switch; there are no
+collisions, only per-port serialisation and queueing plus the switch's
+forwarding latency.  The network ablation bench swaps this in for
+:class:`repro.network.ethernet.EthernetBus` to isolate the collision effect
+the paper blames for the Knight's-Tour degradation, and the scaling story
+(:doc:`docs/scaling`) relies on it beyond the six-machine paper setup: a
+shared bus serialises *all* stations while a switch only serialises frames
+that share a port.
+
+The implementation is built for large clusters:
+
+* **per-port free-time bookkeeping** — each uplink and downlink is a single
+  float (the time the port is next free), not a ``Resource``; queueing for
+  a port is computed arithmetically, so a frame costs two simulation events
+  (uplink done, delivery) instead of a process plus resource round trips.
+* **cut-through forwarding** (default) — the switch starts driving the
+  output port once the frame header has arrived instead of buffering the
+  whole frame, so the per-hop cost is header time + forwarding latency
+  rather than a full store-and-forward serialisation.  Pass
+  ``cut_through=False`` for classic store-and-forward timing.
 """
 
 from __future__ import annotations
@@ -14,15 +29,14 @@ from typing import Any, Callable, Dict, Generator, List
 from ..errors import NetworkError
 from ..sim.core import Event, Simulator
 from ..sim.monitor import StatSet
-from ..sim.resources import Resource
 from ..util.units import US, bits
-from .frame import BROADCAST, EthernetFrame
+from .frame import BROADCAST, ETH_HEADER_BYTES, ETH_PREAMBLE_BYTES, EthernetFrame
 
 __all__ = ["SwitchedLAN"]
 
 
 class SwitchedLAN:
-    """A store-and-forward switch with one full-duplex port per station.
+    """A switch with one full-duplex port per station.
 
     Exposes the same ``attach``/``send`` interface as ``EthernetBus`` so the
     fabric is pluggable in cluster construction.
@@ -34,28 +48,34 @@ class SwitchedLAN:
         rate_bps: float = 10e6,
         forward_latency: float = 15 * US,
         prop_delay: float = 3 * US,
+        cut_through: bool = True,
         name: str = "switch0",
     ):
         if rate_bps <= 0:
             raise NetworkError("link rate must be positive")
+        if forward_latency < 0 or prop_delay < 0:
+            raise NetworkError("latencies must be non-negative")
         self.sim = sim
         self.rate_bps = rate_bps
         self.forward_latency = forward_latency
         self.prop_delay = prop_delay
+        self.cut_through = cut_through
         self.name = name
         self._stations: Dict[int, Callable[[EthernetFrame], None]] = {}
-        self._uplinks: Dict[int, Resource] = {}
-        self._downlinks: Dict[int, Resource] = {}
+        #: per-port next-free times (the whole queueing model)
+        self._up_free: Dict[int, float] = {}
+        self._down_free: Dict[int, float] = {}
         self.stats = StatSet(name)
 
     def attach(self, station_id: int, deliver: Callable[[EthernetFrame], None]) -> None:
+        """Register a station; ``deliver`` is called with received frames."""
         if station_id in self._stations:
             raise NetworkError(f"station {station_id} already attached to {self.name}")
         if station_id < 0:
             raise NetworkError("station ids must be non-negative")
         self._stations[station_id] = deliver
-        self._uplinks[station_id] = Resource(self.sim, 1, name=f"{self.name}.up{station_id}")
-        self._downlinks[station_id] = Resource(self.sim, 1, name=f"{self.name}.down{station_id}")
+        self._up_free[station_id] = self.sim.now
+        self._down_free[station_id] = self.sim.now
 
     @property
     def station_ids(self) -> List[int]:
@@ -64,40 +84,45 @@ class SwitchedLAN:
     def transmission_time(self, frame: EthernetFrame) -> float:
         return bits(frame.wire_bytes) / self.rate_bps
 
+    @property
+    def header_time(self) -> float:
+        """Serialisation time of the frame header — the cut-through point."""
+        return bits(ETH_HEADER_BYTES + ETH_PREAMBLE_BYTES) / self.rate_bps
+
     def send(self, frame: EthernetFrame) -> Generator[Event, Any, str]:
-        """Serialise onto the uplink; forwarding runs asynchronously."""
+        """Serialise onto the uplink; forwarding and delivery are computed
+        arithmetically and scheduled as one timer per destination."""
         if frame.src not in self._stations:
             raise NetworkError(f"source station {frame.src} is not attached to {self.name}")
         if frame.dst != BROADCAST and frame.dst not in self._stations:
             raise NetworkError(f"destination station {frame.dst} is not attached to {self.name}")
-        uplink = self._uplinks[frame.src]
-        req = uplink.request()
-        yield req
-        try:
-            yield self.sim.timeout(self.transmission_time(frame))
-        finally:
-            uplink.release(req)
+        sim = self.sim
+        tx = self.transmission_time(frame)
+        now = sim.now
+        start = max(now, self._up_free[frame.src])
+        done = start + tx
+        self._up_free[frame.src] = done
+        yield sim.timeout(done - now)
         self.stats.counter("frames_sent").increment()
         self.stats.counter("bytes_sent").increment(frame.wire_bytes)
+        # When can the switch begin driving an output port?
+        if self.cut_through:
+            ready = start + self.header_time + self.forward_latency
+        else:
+            ready = done + self.forward_latency
         targets = (
             [sid for sid in self._stations if sid != frame.src]
             if frame.dst == BROADCAST
             else [frame.dst]
         )
         for target in targets:
-            self.sim.process(self._forward(frame, target), name=f"{self.name}.fwd")
+            dn_start = max(ready, self._down_free[target])
+            self._down_free[target] = dn_start + tx
+            timer = sim.timeout(dn_start + tx + self.prop_delay - sim.now)
+            timer.callbacks.append(lambda _ev, t=target: self._deliver(frame, t))
         return "ok"
 
-    def _forward(self, frame: EthernetFrame, target: int) -> Generator[Event, Any, None]:
-        yield self.sim.timeout(self.forward_latency)
-        downlink = self._downlinks[target]
-        req = downlink.request()
-        yield req
-        try:
-            yield self.sim.timeout(self.transmission_time(frame))
-        finally:
-            downlink.release(req)
-        yield self.sim.timeout(self.prop_delay)
+    def _deliver(self, frame: EthernetFrame, target: int) -> None:
         self.stats.counter("frames_delivered").increment()
         self._stations[target](frame)
 

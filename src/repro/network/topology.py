@@ -27,12 +27,19 @@ class FabricConfig:
 
     kind: str = "ethernet"  # "ethernet" (shared bus) or "switch"
     rate_bps: float = 10e6
+    #: switch only: forward after the header arrives (cut-through) instead
+    #: of buffering the whole frame (store-and-forward)
+    cut_through: bool = True
+    #: switch only: fixed forwarding latency of the switching element
+    forward_latency: float = 15e-6
 
     def __post_init__(self) -> None:
         if self.kind not in ("ethernet", "switch"):
             raise ConfigurationError(f"unknown fabric kind {self.kind!r}")
         if self.rate_bps <= 0:
             raise ConfigurationError("fabric rate must be positive")
+        if self.forward_latency < 0:
+            raise ConfigurationError("forward latency must be non-negative")
 
 
 @dataclass
@@ -66,7 +73,12 @@ def build_network(
     if config.kind == "ethernet":
         fabric = EthernetBus(sim, rng.spawn("ether"), rate_bps=config.rate_bps)
     else:
-        fabric = SwitchedLAN(sim, rate_bps=config.rate_bps)
+        fabric = SwitchedLAN(
+            sim,
+            rate_bps=config.rate_bps,
+            forward_latency=config.forward_latency,
+            cut_through=config.cut_through,
+        )
     net = ClusterNetwork(fabric=fabric)
     for sid in range(n_stations):
         net.nics[sid] = NIC(sim, fabric, sid)

@@ -57,6 +57,7 @@ class ProcessorSharingCPU:
         self._next_job_id = 0
         self._last = sim.now
         self._epoch = 0
+        self._timer: Optional[Event] = None
         self.stats = StatSet(name)
         self.run_queue = TimeWeighted(f"{name}.runq", start_time=sim.now)
         self.busy = TimeWeighted(f"{name}.busy", start_time=sim.now)
@@ -120,6 +121,14 @@ class ProcessorSharingCPU:
 
     def _reschedule(self) -> None:
         self._epoch += 1
+        # Lazily cancel the superseded timer so the event queue never
+        # dispatches it — with hundreds of co-located kernels, arrival and
+        # departure rates make stale completion timers the dominant event
+        # source otherwise.  The epoch guard stays as a second line of
+        # defence (a timer firing in the same timestep cannot be cancelled).
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
         if not self._jobs:
             return
         epoch = self._epoch
@@ -128,10 +137,12 @@ class ProcessorSharingCPU:
         delay = shortest / r
         timer = self.sim.timeout(delay)
         timer.callbacks.append(lambda _ev: self._on_timer(epoch))
+        self._timer = timer
 
     def _on_timer(self, epoch: int) -> None:
         if epoch != self._epoch:
             return  # superseded by a later arrival/departure
+        self._timer = None
         self._advance()
         finished = [jid for jid, job in self._jobs.items() if job.remaining <= _EPS]
         events = []

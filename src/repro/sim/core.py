@@ -15,6 +15,18 @@ Determinism is a hard requirement — experiment figures must be exactly
 reproducible — so ties in the event queue are broken by a monotonically
 increasing sequence number, and all randomness flows through seeded streams
 (:mod:`repro.sim.rng`).
+
+Large virtual clusters (hundreds of kernels) put millions of events through
+this loop, so the engine has a deliberate fast path:
+
+* heap entries are mutable ``[time, priority, seq, event]`` slots, and
+  :meth:`Event.cancel` nulls the event slot in place — a *lazy deletion*
+  that lets superseded timers (the processor-sharing CPU re-arms one on
+  every arrival/departure) die without ever being dispatched;
+* ``Simulator.now`` is a plain attribute, not a property, because the hot
+  layers read the clock on every message hop;
+* :meth:`Simulator.run` drives the heap with locally bound ``heappop``
+  rather than paying a ``step()`` call per event.
 """
 
 from __future__ import annotations
@@ -73,7 +85,7 @@ class Event:
     simulation time.  Once the callbacks have run the event is *processed*.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "_scheduled")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "_scheduled", "_entry")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -84,6 +96,8 @@ class Event:
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
+        #: the live heap slot while scheduled (``[time, prio, seq, event]``)
+        self._entry: Optional[list] = None
 
     # -- state ---------------------------------------------------------
     @property
@@ -124,6 +138,23 @@ class Event:
         self._value = exception
         self.sim._schedule(self, 0.0, priority)
         return self
+
+    def cancel(self) -> None:
+        """Lazily remove a scheduled event from the queue (owner-only).
+
+        The heap slot is nulled in place, so the queue never dispatches the
+        event — its callbacks will not run and waiters would hang.  Only
+        cancel events you hold every reference to (e.g. a timer you armed
+        yourself and are about to supersede).  Cancelling an unscheduled or
+        already-processed event is a no-op.
+        """
+        entry = self._entry
+        if entry is None:
+            return
+        entry[3] = None
+        self._entry = None
+        self.callbacks = None
+        self.sim.events_cancelled += 1
 
     def trigger(self, event: "Event") -> None:
         """Adopt another event's outcome (used as a chained callback)."""
@@ -323,17 +354,16 @@ class Simulator:
     """The discrete-event engine: a clock plus a priority queue of events."""
 
     def __init__(self, start_time: float = 0.0):
-        self._now = float(start_time)
+        #: current simulation time — a plain attribute (read-mostly hot path);
+        #: treat it as read-only from outside the engine
+        self.now = float(start_time)
         self._queue: list = []
         self._seq = count()
         self._active_process: Optional[Process] = None
         #: number of events processed so far (diagnostics / budget guards)
         self.events_processed = 0
-
-    # -- clock ----------------------------------------------------------
-    @property
-    def now(self) -> float:
-        return self._now
+        #: number of events lazily cancelled and never dispatched
+        self.events_cancelled = 0
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -360,18 +390,31 @@ class Simulator:
         if event._scheduled:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        entry = [self.now + delay, priority, next(self._seq), event]
+        event._entry = entry
+        heapq.heappush(self._queue, entry)
+
+    def _drop_cancelled_head(self) -> None:
+        """Pop lazily cancelled entries off the head of the queue."""
+        queue = self._queue
+        while queue and queue[0][3] is None:
+            heapq.heappop(queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
+        self._drop_cancelled_head()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        if when < self._now:  # pragma: no cover - guarded by _schedule
+        """Process exactly one (non-cancelled) event."""
+        while True:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+            if event is not None:
+                break
+        if when < self.now:  # pragma: no cover - guarded by _schedule
             raise RuntimeError("event scheduled in the past")
-        self._now = when
+        self.now = when
+        event._entry = None
         callbacks, event.callbacks = event.callbacks, None
         self.events_processed += 1
         for callback in callbacks:
@@ -397,19 +440,34 @@ class Simulator:
                 return stop_event.value
         elif until is not None:
             deadline = float(until)
-            if deadline < self._now:
-                raise ValueError(f"until={deadline} is in the past (now={self._now})")
+            if deadline < self.now:
+                raise ValueError(f"until={deadline} is in the past (now={self.now})")
 
         processed_limit = (
             self.events_processed + max_events if max_events is not None else None
         )
-        while self._queue:
-            if self.peek() > deadline:
-                self._now = deadline
+        # Hot loop: locally bound pop, cancelled slots skipped inline.
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            if entry[3] is None:  # lazily cancelled: drop and re-examine
+                pop(queue)
+                continue
+            if entry[0] > deadline:
+                self.now = deadline
                 return None
             if processed_limit is not None and self.events_processed >= processed_limit:
                 raise RuntimeError(f"simulation exceeded max_events={max_events}")
-            self.step()
+            when, _prio, _seq, event = pop(queue)
+            self.now = when
+            event._entry = None
+            callbacks, event.callbacks = event.callbacks, None
+            self.events_processed += 1
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not callbacks and isinstance(event._value, BaseException):
+                raise event._value
             if stop_event is not None and stop_event.processed:
                 if stop_event._ok:
                     return stop_event.value
@@ -419,7 +477,7 @@ class Simulator:
                 f"simulation queue drained before {stop_event!r} triggered (deadlock?)"
             )
         if deadline != float("inf"):
-            self._now = deadline
+            self.now = deadline
         return None
 
     def run_all(self, max_events: Optional[int] = None) -> None:

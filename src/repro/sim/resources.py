@@ -131,6 +131,8 @@ class Mutex(Resource):
 
 
 class StoreGet(Event):
+    """Event that triggers when an (optionally filtered) item is available."""
+
     __slots__ = ("store", "filter")
 
     def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None):
@@ -142,6 +144,8 @@ class StoreGet(Event):
 
 
 class StorePut(Event):
+    """Event that triggers once the store has capacity for the item."""
+
     __slots__ = ("store", "item")
 
     def __init__(self, store: "Store", item: Any):
@@ -222,6 +226,8 @@ class Store:
 
 
 class ContainerGet(Event):
+    """Event that triggers once the requested amount can be withdrawn."""
+
     __slots__ = ("container", "amount")
 
     def __init__(self, container: "Container", amount: float):

@@ -197,6 +197,54 @@ def test_contended_counter_correct_under_caching():
     assert all(v == 48.0 for v in res.returns.values())
 
 
+def test_recall_during_pending_install():
+    """A recall targeting a grant whose response is still in flight must
+    wait for the install, then invalidate — never miss the line.
+
+    Every rank hammers the same block with unsynchronised exclusive writes,
+    so the home's recalls constantly race the requesters' pending installs.
+    If an invalidation ever slipped past an in-flight install, a stale
+    exclusive copy would survive and the post-barrier reads would diverge
+    (or the run would deadlock on a lost pending marker).
+    """
+
+    def worker(api):
+        for i in range(5):
+            yield from api.gm_write_scalar(0, float(api.rank * 100 + i))
+        yield from api.barrier("done")
+        return (yield from api.gm_read_scalar(0))
+
+    res = run_parallel(cfg(), worker)
+    values = set(res.returns.values())
+    assert len(values) == 1  # every rank agrees on the final value
+    # ...and it is one of the values actually written.
+    assert values.pop() in {float(r * 100 + i) for r in range(4) for i in range(5)}
+
+
+def test_recall_during_pending_install_batched():
+    """The same install/recall race must hold for multi-block batched
+    fills, where one pending marker covers a span of blocks."""
+
+    def worker(api):
+        # Multi-block unsynchronised writes: batched exclusive fills of
+        # blocks 0-1 race recalls for both blocks.
+        for i in range(5):
+            yield from api.gm_write(0, np.full(128, float(api.rank * 100 + i)))
+        yield from api.barrier("done")
+        data = yield from api.gm_read(0, 128)
+        return list(data)
+
+    res = run_parallel(cfg(gmem_batching=True), worker)
+    rows = list(res.returns.values())
+    assert all(row == rows[0] for row in rows)  # all ranks agree
+    legal = {float(r * 100 + i) for r in range(4) for i in range(5)}
+    # Block-granularity writes: each 64-word block is uniform and holds one
+    # of the written values (cross-block atomicity is NOT promised).
+    for block in (rows[0][:64], rows[0][64:]):
+        assert len(set(block)) == 1
+        assert block[0] in legal
+
+
 def test_cache_deterministic():
     def worker(api):
         for _ in range(3):

@@ -285,6 +285,30 @@ def test_switch_same_downlink_serialises():
     assert arrivals[1] - arrivals[0] >= tx * 0.99
 
 
+def test_switch_cut_through_beats_store_and_forward():
+    """Cut-through forwarding (default) delivers strictly earlier than
+    store-and-forward: the downlink starts after the header, not the
+    whole frame."""
+    arrivals = {}
+    for cut_through in (True, False):
+        sim = Simulator()
+        lan = SwitchedLAN(sim, cut_through=cut_through)
+        lan.attach(0, lambda f: None)
+        lan.attach(1, lambda f: arrivals.setdefault(cut_through, sim.now))
+
+        def sender():
+            yield from lan.send(
+                EthernetFrame(src=0, dst=1, payload=None, payload_bytes=1500)
+            )
+
+        sim.process(sender())
+        sim.run_all()
+    tx = (1500 + 26) * 8 / 10e6
+    assert arrivals[True] < arrivals[False]
+    # The gap is the full-frame buffering minus the header time.
+    assert arrivals[False] - arrivals[True] == pytest.approx(tx - lan.header_time)
+
+
 def test_switch_broadcast():
     sim = Simulator()
     lan = SwitchedLAN(sim)

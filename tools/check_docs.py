@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Documentation lint: markdown link check + docstring-presence check.
+
+Stdlib only, so CI (and anyone) can run it without installing anything:
+
+    python tools/check_docs.py [repo-root]
+
+Two checks, both fail the build on violations:
+
+1. **Markdown links** — every relative link or image target in
+   ``docs/*.md`` and ``README.md`` must resolve to an existing file or
+   directory (anchors and external ``http(s):``/``mailto:`` targets are
+   not checked).
+2. **Docstring presence** — every public module and public class in
+   ``src/repro`` (name not starting with ``_``) must carry a docstring.
+   The public surface documented in ``docs/api.md`` defers to docstrings
+   for full signatures, so they have to exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+#: inline links/images: [text](target) — target captured up to ) or space
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_markdown(root: Path):
+    yield root / "README.md"
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_links(root: Path) -> list[str]:
+    errors = []
+    for md in iter_markdown(root):
+        if not md.exists():
+            errors.append(f"{md.relative_to(root)}: file listed for checking is missing")
+            continue
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), 1):
+            if _FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            line = re.sub(r"`[^`]*`", "", line)  # inline code is not a link
+            for target in _LINK_RE.findall(line):
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (md.parent / path).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{md.relative_to(root)}:{lineno}: broken link -> {target}"
+                    )
+    return errors
+
+
+def _missing_docstrings(tree: ast.Module, relpath: str) -> list[str]:
+    errors = []
+    if ast.get_docstring(tree) is None:
+        errors.append(f"{relpath}:1: public module has no docstring")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            errors.append(
+                f"{relpath}:{node.lineno}: public class "
+                f"'{node.name}' has no docstring"
+            )
+    return errors
+
+
+def check_docstrings(root: Path) -> list[str]:
+    errors = []
+    src = root / "src" / "repro"
+    for py in sorted(src.rglob("*.py")):
+        relpath = str(py.relative_to(root))
+        if py.name.startswith("_") and py.name != "__init__.py":
+            continue
+        try:
+            tree = ast.parse(py.read_text(), filename=relpath)
+        except SyntaxError as exc:  # pragma: no cover - would fail tests anyway
+            errors.append(f"{relpath}: syntax error: {exc}")
+            continue
+        errors.extend(_missing_docstrings(tree, relpath))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    link_errors = check_links(root)
+    doc_errors = check_docstrings(root)
+    for err in link_errors + doc_errors:
+        print(err)
+    n_md = sum(1 for _ in iter_markdown(root))
+    print(
+        f"checked {n_md} markdown files "
+        f"({len(link_errors)} broken links), "
+        f"docstrings in src/repro ({len(doc_errors)} missing)"
+    )
+    return 1 if (link_errors or doc_errors) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
