@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""A barrier bug, caught: participant counts that can never be met.
+
+Every rank arrives at one barrier declared for ``size + 1`` parties.
+The (size+1)-th participant does not exist, so the program hangs until
+the simulator's event queue drains — the classic lost wake-up.  With
+``sanitize=True`` the deadlock detector flags the impossible count
+*online*, at the first arrival, and the drain-time report names the
+barrier, the declared count, and exactly who did arrive.
+
+Run:  python examples/bad_barrier.py
+"""
+
+from repro.dse import ClusterConfig, run_parallel
+from repro.errors import DSEError
+from repro.hardware import get_platform
+
+RANKS = 3
+
+
+def bad_worker(api):
+    """BUG: every rank waits for size+1 parties; nobody else is coming."""
+    yield from api.gm_write_scalar(api.rank, 1.0)
+    yield from api.barrier("phase", api.size + 1)  # one party too many
+    return 0.0
+
+
+def main():
+    config = ClusterConfig(
+        platform=get_platform("linux"),
+        n_processors=RANKS,
+        sanitize=True,
+    )
+    try:
+        run_parallel(config, bad_worker)
+    except DSEError as exc:
+        report = exc.cluster.sanitizer.report
+        print(f"run hung, as expected: {exc}".splitlines()[0])
+        print(report.format())
+        if any(f.kind == "impossible" for f in report.barrier_faults):
+            print("OK — the deadlock detector flagged the impossible barrier.")
+            return 0
+        print("FAILED: the impossible participant count was not flagged")
+        return 1
+    print("FAILED: the run completed; it should have hung at the barrier")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,6 +138,11 @@ def gauss_seidel_worker(
             if rhi > rlo:
                 data = yield from api.gm_read(block_addr(r), rhi - rlo)
                 x[rlo:rhi] = data
+        # Separate the gather from this sweep's writes: without this
+        # barrier a fast rank's write races a slow rank's gather of the
+        # same block, and the "last sweep values" coupling below becomes
+        # timing-dependent (found by repro.sanitize race detection).
+        yield from api.barrier(f"gs:gather{sweep}")
         if hi > lo:
             # The real numerics: update own rows from the gathered snapshot.
             new_block = _block_update(a, b, x, lo, hi)

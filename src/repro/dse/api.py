@@ -38,6 +38,10 @@ class ParallelAPI:
         #: cross-layer span recorder (root spans are minted here, at the API
         #: boundary, and the context travels inside every derived message)
         self.obs = kernel.obs
+        #: race detector for fork-join happens-before edges (None when off)
+        from ..sanitize import NULL_SANITIZER
+
+        self._san_race = getattr(kernel.cluster, "sanitizer", NULL_SANITIZER).race
 
     def _root(self, name: str):
         """Open a root span for one API call (None when tracing is off)."""
@@ -88,27 +92,31 @@ class ParallelAPI:
     def gm_read(self, addr: int, nwords: int) -> Generator[Event, Any, np.ndarray]:
         """Read ``nwords`` float64 words from global memory."""
         if not self.obs.enabled:
-            return (yield from self.kernel.gmem.read(addr, nwords))
+            return (yield from self.kernel.gmem.read(addr, nwords, accessor=self.rank))
         span = self._root("api.gm_read")
-        data = yield from self.kernel.gmem.read(addr, nwords, trace=span.ctx)
+        data = yield from self.kernel.gmem.read(
+            addr, nwords, trace=span.ctx, accessor=self.rank
+        )
         self._end(span)
         return data
 
     def gm_write(self, addr: int, values: Sequence[float]) -> Generator[Event, Any, None]:
         """Write float64 words into global memory."""
         if not self.obs.enabled:
-            yield from self.kernel.gmem.write(addr, values)
+            yield from self.kernel.gmem.write(addr, values, accessor=self.rank)
             return
         span = self._root("api.gm_write")
-        yield from self.kernel.gmem.write(addr, values, trace=span.ctx)
+        yield from self.kernel.gmem.write(
+            addr, values, trace=span.ctx, accessor=self.rank
+        )
         self._end(span)
 
     def gm_read_scalar(self, addr: int) -> Generator[Event, Any, float]:
-        data = yield from self.kernel.gmem.read(addr, 1)
+        data = yield from self.kernel.gmem.read(addr, 1, accessor=self.rank)
         return float(data[0])
 
     def gm_write_scalar(self, addr: int, value: float) -> Generator[Event, Any, None]:
-        yield from self.kernel.gmem.write(addr, [value])
+        yield from self.kernel.gmem.write(addr, [value], accessor=self.rank)
 
     @staticmethod
     def words_for_bytes(nbytes: int) -> int:
@@ -134,10 +142,10 @@ class ParallelAPI:
     # -- synchronisation ---------------------------------------------------
     def lock(self, name: str) -> Generator[Event, Any, None]:
         if not self.obs.enabled:
-            yield from self.kernel.sync.acquire(name)
+            yield from self.kernel.sync.acquire(name, accessor=self.rank)
             return
         span = self._root("api.lock")
-        yield from self.kernel.sync.acquire(name, trace=span.ctx)
+        yield from self.kernel.sync.acquire(name, trace=span.ctx, accessor=self.rank)
         self._end(span)
 
     def unlock(self, name: str) -> Generator[Event, Any, None]:
@@ -146,11 +154,11 @@ class ParallelAPI:
         # read them.
         if not self.obs.enabled:
             yield from self.kernel.gmem.flush()
-            yield from self.kernel.sync.release(name)
+            yield from self.kernel.sync.release(name, accessor=self.rank)
             return
         span = self._root("api.unlock")
         yield from self.kernel.gmem.flush(trace=span.ctx)
-        yield from self.kernel.sync.release(name, trace=span.ctx)
+        yield from self.kernel.sync.release(name, trace=span.ctx, accessor=self.rank)
         self._end(span)
 
     def barrier(
@@ -161,11 +169,15 @@ class ParallelAPI:
         # entering so they are visible to everyone on the other side.
         if not self.obs.enabled:
             yield from self.kernel.gmem.flush()
-            yield from self.kernel.sync.barrier(name, parties or self.size)
+            yield from self.kernel.sync.barrier(
+                name, parties or self.size, accessor=self.rank
+            )
             return
         span = self._root("api.barrier")
         yield from self.kernel.gmem.flush(trace=span.ctx)
-        yield from self.kernel.sync.barrier(name, parties or self.size, trace=span.ctx)
+        yield from self.kernel.sync.barrier(
+            name, parties or self.size, trace=span.ctx, accessor=self.rank
+        )
         self._end(span)
 
     # -- parallel process management -------------------------------------------
@@ -186,6 +198,10 @@ class ParallelAPI:
         for rank in ranks:
             target = self.kernel.cluster.placement(rank)
             args = args_of(rank) if args_of else ()
+            if self._san_race is not None:
+                # Fork edge: everything the parent did so far happens-before
+                # everything the child will do.
+                self._san_race.on_spawn(self.rank, rank)
             handle = yield from self.kernel.procman.invoke(target, entry, rank, args)
             handles.append(handle)
         return handles
@@ -194,7 +210,13 @@ class ParallelAPI:
         self, handles: List[RemoteProcHandle]
     ) -> Generator[Event, Any, Dict[int, Any]]:
         """Collect return values of spawned workers: {rank: value}."""
-        return (yield from self.kernel.procman.wait_all(handles))
+        results = yield from self.kernel.procman.wait_all(handles)
+        if self._san_race is not None:
+            # Join edge: everything a completed child did happens-before
+            # everything the parent does from here on.
+            for handle in handles:
+                self._san_race.on_join(self.rank, handle.rank)
+        return results
 
     # -- misc ----------------------------------------------------------------
     def sleep(self, seconds: float) -> Generator[Event, Any, None]:

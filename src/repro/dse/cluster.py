@@ -42,6 +42,17 @@ class Cluster:
         #: network/machine component is built.
         self.obs = SpanRecorder(enabled=config.obs_trace, limit=config.obs_span_limit)
         self.sim.obs = self.obs
+        #: dynamic sanitizers (race/deadlock detection; repro.sanitize).
+        #: Must exist before the kernels — gmem and sync capture it at
+        #: construction time.
+        from ..sanitize import Sanitizer
+
+        self.sanitizer = Sanitizer(
+            modes=config.sanitize_modes,
+            world=config.n_processors,
+            block_words=config.block_words,
+            obs=self.obs,
+        )
 
         n_machines = config.machines_used
         self.network = build_network(self.sim, self.rng, n_machines, config.fabric)
@@ -73,6 +84,8 @@ class Cluster:
     def _register_metrics_sources(self, sampler) -> None:
         """Wire the explanatory levels + every subsystem StatSet."""
         fabric = self.network.fabric
+        if self.sanitizer.enabled:
+            sampler.register_statset("san", self.sanitizer.stats)
         if hasattr(fabric, "utilization"):
             sampler.register("bus.utilization", lambda: fabric.utilization.level)
         if hasattr(fabric, "collision_rate"):
@@ -185,4 +198,15 @@ class Cluster:
             k.gmem.stats.counter("batched_runs").value for k in self.kernels
         )
         out["max_load_average"] = max(m.load_average() for m in self.machines)
+        if self.sanitizer.enabled:
+            san = self.sanitizer.stats
+            for key in (
+                "races",
+                "lock_cycles",
+                "barrier_faults",
+                "lock_stalls",
+                "accesses_checked",
+                "sync_ops",
+            ):
+                out[f"san.{key}"] = san.counter(key).value
         return out

@@ -108,8 +108,13 @@ class CachingGlobalMemory(GlobalMemoryManager):
 
     # -- public API ------------------------------------------------------------
     def read(
-        self, addr: int, nwords: int, trace: Any = None
+        self, addr: int, nwords: int, trace: Any = None, accessor: Any = None
     ) -> Generator[Event, Any, np.ndarray]:
+        if self._san_race is not None:
+            self._san_race.on_access(
+                self.kernel.kernel_id if accessor is None else accessor,
+                addr, nwords, False, self.kernel.sim.now,
+            )
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         if self.batching:
             yield from self._prefetch_blocks(addr, nwords, exclusive=False, trace=trace)
@@ -122,10 +127,15 @@ class CachingGlobalMemory(GlobalMemoryManager):
         return out
 
     def write(
-        self, addr: int, values: Any, trace: Any = None
+        self, addr: int, values: Any, trace: Any = None, accessor: Any = None
     ) -> Generator[Event, Any, None]:
         data = np.asarray(values, dtype=np.float64).ravel()
         nwords = len(data)
+        if self._san_race is not None:
+            self._san_race.on_access(
+                self.kernel.kernel_id if accessor is None else accessor,
+                addr, nwords, True, self.kernel.sim.now,
+            )
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         if self.batching:
             yield from self._prefetch_blocks(addr, nwords, exclusive=True, trace=trace)

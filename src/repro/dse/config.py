@@ -10,7 +10,7 @@ coherence policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..hardware.platform import PlatformSpec
@@ -61,6 +61,13 @@ class ClusterConfig:
     obs_metrics_interval: float = 0.0
     #: cap on retained spans (None = unbounded); drops are counted
     obs_span_limit: Optional[int] = None
+    #: dynamic sanitizers (see repro.sanitize / docs/sanitizers.md):
+    #: ``False`` off, ``True``/``"all"`` everything, or any combination of
+    #: ``"race"`` (lockset + happens-before data-race detection) and
+    #: ``"deadlock"`` (lock-cycle + barrier-fault detection) as a string
+    #: ("race,deadlock") or tuple.  Sanitizers observe only — simulated
+    #: time is bit-identical with them on or off.
+    sanitize: Any = False
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -85,6 +92,20 @@ class ClusterConfig:
             raise ConfigurationError("obs_metrics_interval cannot be negative")
         if self.obs_span_limit is not None and self.obs_span_limit < 0:
             raise ConfigurationError("obs_span_limit cannot be negative")
+        if isinstance(self.sanitize, list):
+            # Keep the frozen dataclass hashable for sweep helpers.
+            object.__setattr__(self, "sanitize", tuple(self.sanitize))
+        try:
+            self.sanitize_modes
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from None
+
+    @property
+    def sanitize_modes(self) -> frozenset:
+        """The requested sanitizers as a frozenset of mode names."""
+        from ..sanitize import normalize_modes
+
+        return normalize_modes(self.sanitize)
 
     # -- placement -----------------------------------------------------------
     @property

@@ -87,6 +87,11 @@ class GlobalMemoryManager:
         self._wc: Dict[int, List[Tuple[int, np.ndarray]]] = {}
         #: read-combining table: (start, count) -> in-flight marker event
         self._read_inflight: Dict[Tuple[int, int], Event] = {}
+        #: race detector (None unless ``ClusterConfig(sanitize=...)`` asked
+        #: for it) — the disabled path is one attribute load + identity test
+        from ..sanitize import NULL_SANITIZER
+
+        self._san_race = getattr(kernel.cluster, "sanitizer", NULL_SANITIZER).race
 
     # -- address arithmetic -------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -145,9 +150,14 @@ class GlobalMemoryManager:
 
     # -- public API (used by the parallel API library) ------------------------
     def read(
-        self, addr: int, nwords: int, trace: Any = None
+        self, addr: int, nwords: int, trace: Any = None, accessor: Any = None
     ) -> Generator[Event, Any, np.ndarray]:
         """Read ``nwords`` words starting at ``addr``."""
+        if self._san_race is not None:
+            self._san_race.on_access(
+                self.kernel.kernel_id if accessor is None else accessor,
+                addr, nwords, False, self.kernel.sim.now,
+            )
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         if self.batching and self._wc:
             yield from self._flush_overlapping(addr, nwords, trace=trace)
@@ -216,11 +226,16 @@ class GlobalMemoryManager:
             marker.succeed((status, data))
 
     def write(
-        self, addr: int, values: Any, trace: Any = None
+        self, addr: int, values: Any, trace: Any = None, accessor: Any = None
     ) -> Generator[Event, Any, None]:
         """Write ``values`` (array-like of float64) starting at ``addr``."""
         data = np.asarray(values, dtype=np.float64).ravel()
         nwords = len(data)
+        if self._san_race is not None:
+            self._san_race.on_access(
+                self.kernel.kernel_id if accessor is None else accessor,
+                addr, nwords, True, self.kernel.sim.now,
+            )
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         offset = 0
         for home, start, count in self.home_runs(addr, nwords):

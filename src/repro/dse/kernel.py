@@ -156,12 +156,19 @@ class DSEKernel:
         from .api import ParallelAPI  # local import: api imports kernel types
 
         api = ParallelAPI(self, rank)
+        race = self.cluster.sanitizer.race
 
         def run() -> Generator[Event, Any, Any]:
+            if race is not None:
+                race.on_child_start(rank)
             value = yield from entry(api, *args)
             # Completion is a synchronisation point: push out any combined
             # writes before the invoker learns this process is done.
             yield from self.gmem.flush()
+            if race is not None:
+                # Publish the child's final clock before the invoker can
+                # observe completion.
+                race.on_child_done(rank)
             yield from self.procman.notify_done(rank, invoker, value)
             return value
 

@@ -112,6 +112,9 @@ class DSEMessage:
     #: observability context (repro.obs.TraceContext) — rides in the header,
     #: not accounted in size_bytes (ids fit the existing seq/src/dst fields)
     trace: Any = field(default=None, repr=False, compare=False)
+    #: requesting DSE process rank (sanitizer identity; see repro.sanitize) —
+    #: rides in the header like ``trace``, not accounted in size_bytes
+    accessor: Any = field(default=None, repr=False, compare=False)
 
     @property
     def is_request(self) -> bool:
@@ -161,6 +164,7 @@ class DSEMessage:
             # Responses inherit the request's trace context so deferred
             # replies (queued locks, barriers) stay on the requester's tree.
             trace=self.trace,
+            accessor=self.accessor,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -60,8 +60,18 @@ def run_master(
 
     cluster.sim.process(driver(), name="dse-master")
     cluster.sim.run_all()
+    # End-of-run sanitizer analyses (stuck barriers, stalled lock waiters)
+    # run on success AND on drain — a hung run is exactly when they matter.
+    sanitizer = cluster.sanitizer
+    if sanitizer.enabled:
+        sanitizer.finalize(cluster.sim.now)
     if "returns" not in outcome:
-        raise DSEError("master did not complete (deadlock or early drain)")
+        detail = "master did not complete (deadlock or early drain)"
+        if sanitizer.enabled and not sanitizer.report.clean:
+            detail = f"{detail}\n{sanitizer.report.format()}"
+        error = DSEError(detail)
+        error.cluster = cluster  # post-mortem inspection (reports, stats)
+        raise error
     return RunResult(
         elapsed=outcome["elapsed"],
         returns=outcome["returns"],

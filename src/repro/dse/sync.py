@@ -22,10 +22,11 @@ __all__ = ["SyncManager"]
 
 
 class _LockState:
-    __slots__ = ("held_by", "waiters")
+    __slots__ = ("held_by", "held_acc", "waiters")
 
     def __init__(self) -> None:
         self.held_by: int = -1  # kernel id, -1 = free
+        self.held_acc: int = -1  # DSE process rank of the holder
         self.waiters: List[DSEMessage] = []
 
 
@@ -45,6 +46,13 @@ class SyncManager:
         self._locks: Dict[str, _LockState] = {}
         self._barriers: Dict[str, _BarrierState] = {}
         self.stats = StatSet(f"sync:k{kernel.kernel_id}")
+        #: sanitizer detectors (None when the mode is off; cluster-global,
+        #: so the home kernel's hooks and the client's hooks meet in one view)
+        from ..sanitize import NULL_SANITIZER
+
+        _san = getattr(kernel.cluster, "sanitizer", NULL_SANITIZER)
+        self._san_race = _san.race
+        self._san_dead = _san.deadlock
 
     # -- placement -----------------------------------------------------------
     def lock_home(self, name: str) -> int:
@@ -52,26 +60,41 @@ class SyncManager:
         return sum(name.encode()) % self.kernel.cluster_size
 
     # -- client side ----------------------------------------------------------
-    def acquire(self, name: str, trace: Any = None) -> Generator[Event, Any, None]:
+    def acquire(
+        self, name: str, trace: Any = None, accessor: Any = None
+    ) -> Generator[Event, Any, None]:
+        acc = self.kernel.kernel_id if accessor is None else accessor
         msg = DSEMessage(
             msg_type=MsgType.LOCK_REQ,
             src_kernel=self.kernel.kernel_id,
             dst_kernel=self.lock_home(name),
             name=name,
             trace=trace,
+            accessor=acc,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":
             raise DSEError(f"lock acquire {name!r} failed: {rsp.status}")
+        if self._san_race is not None:
+            # Grant received: join the release clock of the previous holder.
+            self._san_race.on_acquire(acc, name)
         self.stats.counter("acquires").increment()
 
-    def release(self, name: str, trace: Any = None) -> Generator[Event, Any, None]:
+    def release(
+        self, name: str, trace: Any = None, accessor: Any = None
+    ) -> Generator[Event, Any, None]:
+        acc = self.kernel.kernel_id if accessor is None else accessor
+        if self._san_race is not None:
+            # Publish at the program release point — before anyone else can
+            # possibly be granted the lock.
+            self._san_race.on_release(acc, name)
         msg = DSEMessage(
             msg_type=MsgType.UNLOCK_REQ,
             src_kernel=self.kernel.kernel_id,
             dst_kernel=self.lock_home(name),
             name=name,
             trace=trace,
+            accessor=acc,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":
@@ -79,10 +102,13 @@ class SyncManager:
         self.stats.counter("releases").increment()
 
     def barrier(
-        self, name: str, parties: int, trace: Any = None
+        self, name: str, parties: int, trace: Any = None, accessor: Any = None
     ) -> Generator[Event, Any, None]:
         if parties <= 0:
             raise DSEError(f"barrier parties must be positive, got {parties}")
+        acc = self.kernel.kernel_id if accessor is None else accessor
+        if self._san_race is not None:
+            self._san_race.on_barrier_arrive(acc, name, parties)
         msg = DSEMessage(
             msg_type=MsgType.BARRIER_REQ,
             src_kernel=self.kernel.kernel_id,
@@ -91,22 +117,40 @@ class SyncManager:
             nwords=0,
             addr=parties,  # parties rides in the addr field
             trace=trace,
+            accessor=acc,
         )
         rsp = yield from self.kernel.exchange.request(msg)
         if rsp.status != "ok":
             raise DSEError(f"barrier {name!r} failed: {rsp.status}")
+        if self._san_race is not None:
+            # Released: adopt the merged clock of every participant.
+            self._san_race.on_barrier_done(acc, name)
         self.stats.counter("barriers").increment()
 
     # -- server side -----------------------------------------------------------
+    @staticmethod
+    def _acc_of(msg: DSEMessage) -> int:
+        """Sanitizer identity of a request (rank; kernel id as fallback)."""
+        return msg.src_kernel if msg.accessor is None else msg.accessor
+
     def handle_lock(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
         state = self._locks.setdefault(msg.name, _LockState())
         if state.held_by == -1:
             state.held_by = msg.src_kernel
+            state.held_acc = self._acc_of(msg)
+            if self._san_dead is not None:
+                self._san_dead.on_lock_granted(state.held_acc, msg.name)
             self.stats.counter("grants_immediate").increment()
             return msg.make_response()
         if state.held_by == msg.src_kernel:
             return msg.make_response(status="already-held")
         state.waiters.append(msg)
+        if self._san_dead is not None:
+            # The queue edge is exact here at the lock's home: the requester
+            # now waits on the current holder.  Check for a cycle.
+            self._san_dead.on_lock_wait(
+                self._acc_of(msg), msg.name, self.kernel.sim.now
+            )
         self.stats.counter("grants_deferred").increment()
         return None  # deferred: reply sent by handle_unlock
         yield  # pragma: no cover - generator parity
@@ -120,22 +164,34 @@ class SyncManager:
         if state.waiters:
             nxt = state.waiters.pop(0)
             state.held_by = nxt.src_kernel
+            state.held_acc = self._acc_of(nxt)
+            if self._san_dead is not None:
+                self._san_dead.on_lock_granted(state.held_acc, msg.name)
             # Wake the queued requester with its (long-deferred) grant.
             yield from self.kernel.exchange.reply(nxt.make_response())
         else:
             state.held_by = -1
+            state.held_acc = -1
+            if self._san_dead is not None:
+                self._san_dead.on_lock_released(msg.name)
         return msg.make_response()
 
     def handle_barrier(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:
         parties = msg.addr
         state = self._barriers.setdefault(msg.name, _BarrierState())
         state.arrived.append(msg)
+        if self._san_dead is not None:
+            self._san_dead.on_barrier_arrive(
+                self._acc_of(msg), msg.name, parties, self.kernel.sim.now
+            )
         if len(state.arrived) < parties:
             return None  # deferred: released by the last arrival
         # Last party: release everyone (the last requester's own response is
         # returned, the rest are sent explicitly).
         arrived, state.arrived = state.arrived, []
         state.generation += 1
+        if self._san_dead is not None:
+            self._san_dead.on_barrier_release(msg.name)
         self.stats.counter("barrier_releases").increment()
         for waiting in arrived[:-1]:
             yield from self.kernel.exchange.reply(waiting.make_response())

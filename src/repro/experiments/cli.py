@@ -18,6 +18,12 @@ The ``scale`` subcommand sweeps a workload across large virtual clusters
 
     dse-experiments scale --workload gauss-seidel --nodes 6,32,64 \\
         --fabric switch
+
+The ``sanitize`` subcommand runs workloads under the race/deadlock
+sanitizers (see :mod:`repro.sanitize` and ``docs/sanitizers.md``)::
+
+    dse-experiments sanitize --all
+    dse-experiments sanitize --demo
 """
 
 from __future__ import annotations
@@ -107,6 +113,10 @@ def main(argv: List[str] | None = None) -> int:
         from .scaling import scale_main
 
         return scale_main(argv[1:])
+    if argv and argv[0] == "sanitize":
+        from ..sanitize.cli import sanitize_main
+
+        return sanitize_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="dse-experiments",
         description="Regenerate the tables/figures of the DSE/SSI paper (ICPP 1999).",
@@ -140,7 +150,7 @@ def main(argv: List[str] | None = None) -> int:
 
     failures = 0
     for fig_id in wanted:
-        start = time.time()
+        start = time.perf_counter()
         fig = FIGURES[fig_id](fast=args.fast)
         print(fig.to_text())
         if args.plot and fig_id != "table1":
@@ -153,7 +163,7 @@ def main(argv: List[str] | None = None) -> int:
                 status = "PASS" if ok else "FAIL"
                 print(f"  [{status}] {description}")
                 failures += 0 if ok else 1
-        print(f"  ({time.time() - start:.1f}s wall)\n")
+        print(f"  ({time.perf_counter() - start:.1f}s wall)\n")
     return 1 if failures else 0
 
 

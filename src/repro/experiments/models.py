@@ -91,5 +91,10 @@ def predict_gauss_seidel(
         # The shared bus serialises the total volume: p workers x (p-1) blocks.
         bus = p * (p - 1) * (block_bytes + HEADER_BYTES + 54) * 8 / rate_bps
         comm = max(per_worker_comm, bus)
-        out[p] = sweeps * (compute + comm + barrier_cost(platform, p, rate_bps))
+        # Two barriers per sweep: one separating the gather from the
+        # writes (race-freedom, see gauss_seidel_worker) and the
+        # end-of-sweep barrier.
+        out[p] = sweeps * (
+            compute + comm + 2 * barrier_cost(platform, p, rate_bps)
+        )
     return out

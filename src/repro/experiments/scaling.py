@@ -123,9 +123,9 @@ def measure_scale_point(
         fabric=FabricConfig(kind=fabric),
         gmem_batching=batching,
     )
-    start = time.time()
+    start = time.perf_counter()
     result = run_parallel(config, worker, args=args)
-    wall = time.time() - start
+    wall = time.perf_counter() - start
     elapsed = max(out["t1"] - out["t0"] for out in result.returns.values())
     return ScalePoint(
         workload=workload,

@@ -138,12 +138,23 @@ class ReliableService:
         seg: _Seg = packet.payload
         key = (packet.src, packet.dst_port)
         expected = self._recv_seq.get(key, 0)
-        # Always (re-)ack what we have seen so a lost ack is repaired.
-        self._send_ack(packet.src, packet.dst_port, seg.seq)
         if seg.seq != expected:
-            self.stats.counter("duplicates_dropped").increment()
+            if seg.seq < expected:
+                # Duplicate of already-delivered data (our ack was lost):
+                # re-ack so the sender stops retransmitting.
+                self._send_ack(packet.src, packet.dst_port, seg.seq)
+                self.stats.counter("duplicates_dropped").increment()
+            else:
+                # A segment from the future: an earlier one on this port is
+                # still missing.  Acking it would confirm data we discard
+                # right here — the sender would stop retransmitting and the
+                # payload would be lost for good (a lost wakeup when the
+                # payload is a lock grant or barrier release).  Stay silent
+                # and let the sender's timer re-send it after the gap fills.
+                self.stats.counter("out_of_order_dropped").increment()
             return
         self._recv_seq[key] = expected + 1
+        self._send_ack(packet.src, packet.dst_port, seg.seq)
         user_packet = Packet(
             src=packet.src,
             dst=packet.dst,

@@ -1,0 +1,143 @@
+"""Dynamic sanitizers for DSE guest programs (``repro.sanitize``).
+
+The paper's SSI programming model (global memory + mutexes + barriers)
+puts the whole correctness burden on the guest program; the simulator,
+which observes every access and every lock event, can carry that burden
+instead.  Enabled via ``ClusterConfig(sanitize=...)``:
+
+* ``"race"`` — hybrid lockset + happens-before data-race detection over
+  guest global-memory accesses (:mod:`repro.sanitize.race`);
+* ``"deadlock"`` — online lock-cycle detection and barrier participant
+  accounting, plus lost-wakeup analysis when a run drains
+  (:mod:`repro.sanitize.deadlock`);
+* ``True`` / ``"all"`` — both.
+
+Findings accumulate in ``cluster.sanitizer.report`` (a
+:class:`~repro.sanitize.report.SanitizeReport`), counters feed the
+``sanitize`` :class:`~repro.sim.monitor.StatSet` (sampled by the metrics
+time-series when enabled), and each finding is mirrored as an instant
+span when causal tracing is on.  Every hook is guarded by a single
+``enabled``/``is not None`` test, so a non-sanitized run pays only that
+flag check (measured in ``benchmarks/bench_obs_overhead.py``).
+
+See ``docs/sanitizers.md`` for the algorithms and example reports, and
+``repro.sanitize.demo`` for intentionally buggy guests the detectors must
+flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional
+
+from ..sim.monitor import StatSet
+from .deadlock import DeadlockDetector
+from .race import RaceDetector, guest_site
+from .report import (
+    AccessInfo,
+    BarrierFinding,
+    LockCycleFinding,
+    LockStallFinding,
+    RaceFinding,
+    SanitizeReport,
+)
+from .vc import VectorClock
+
+__all__ = [
+    "Sanitizer",
+    "NULL_SANITIZER",
+    "normalize_modes",
+    "SANITIZE_MODES",
+    "SanitizeReport",
+    "RaceFinding",
+    "LockCycleFinding",
+    "BarrierFinding",
+    "LockStallFinding",
+    "AccessInfo",
+    "RaceDetector",
+    "DeadlockDetector",
+    "VectorClock",
+    "guest_site",
+]
+
+#: the individual sanitizers a config can request
+SANITIZE_MODES = ("race", "deadlock")
+
+
+def normalize_modes(sanitize: Any) -> FrozenSet[str]:
+    """Normalize a ``ClusterConfig.sanitize`` value to a mode set.
+
+    Accepts ``False``/``None`` (off), ``True``/``"all"`` (everything),
+    one mode name, a comma/space separated string, or an iterable of mode
+    names.  Raises ``ValueError`` on unknown modes.
+    """
+    if not sanitize:
+        return frozenset()
+    if sanitize is True:
+        return frozenset(SANITIZE_MODES)
+    if isinstance(sanitize, str):
+        tokens = [t for t in sanitize.replace(",", " ").split() if t]
+    else:
+        tokens = [str(t) for t in sanitize]
+    if "all" in tokens:
+        return frozenset(SANITIZE_MODES)
+    unknown = sorted(set(tokens) - set(SANITIZE_MODES))
+    if unknown:
+        raise ValueError(
+            f"unknown sanitize mode(s) {unknown}; expected {SANITIZE_MODES} or 'all'"
+        )
+    return frozenset(tokens)
+
+
+class Sanitizer:
+    """One cluster's sanitizer bundle: detectors, report, counters.
+
+    Detector attributes (``race``, ``deadlock``) are ``None`` when the
+    corresponding mode is off — instrumentation sites test exactly that,
+    keeping the disabled path one attribute load + identity check.
+    """
+
+    def __init__(
+        self,
+        modes: FrozenSet[str] = frozenset(),
+        world: int = 0,
+        block_words: int = 1,
+        obs: Any = None,
+    ):
+        self.modes = frozenset(modes)
+        self.enabled = bool(self.modes)
+        self.report = SanitizeReport()
+        self.stats = StatSet("sanitize")
+        self._obs = obs
+        self.race: Optional[RaceDetector] = (
+            RaceDetector(block_words, self.report, self.stats)
+            if "race" in self.modes
+            else None
+        )
+        self.deadlock: Optional[DeadlockDetector] = (
+            DeadlockDetector(world, self.report, self.stats)
+            if "deadlock" in self.modes
+            else None
+        )
+        self._finding_count = 0
+
+    def note_findings(self, now: float) -> None:
+        """Mirror newly appended findings as obs instant spans (if tracing)."""
+        r = self.report
+        n = len(r.races) + len(r.lock_cycles) + len(r.barrier_faults) + len(r.lock_stalls)
+        if n == self._finding_count:
+            return
+        if self._obs is not None and getattr(self._obs, "enabled", False):
+            for finding in r.findings[self._finding_count:]:
+                self._obs.instant(now, f"san:{type(finding).__name__}", "san", 0, -1)
+        self._finding_count = n
+
+    def finalize(self, now: float) -> SanitizeReport:
+        """Run the end-of-run (drain) analyses; returns the report."""
+        if self.deadlock is not None:
+            self.deadlock.finalize(now)
+        self.note_findings(now)
+        return self.report
+
+
+#: shared disabled sanitizer for components built outside a cluster
+NULL_SANITIZER = Sanitizer()

@@ -1,0 +1,166 @@
+"""Deadlock and lost-wakeup detection over DSE synchronisation state.
+
+The lock home kernels report exact queueing facts (who waits, who holds)
+into one cluster-global wait-for view:
+
+* **lock cycles, online** — each queued requester waits for exactly one
+  lock, so the wait-for graph is functional and a cycle check is a single
+  walk: waiter -> lock -> holder -> (lock the holder waits for) -> ...
+  Cycles are reported the moment the closing edge is inserted, with the
+  full ``proc -> lock -> proc`` chain and the simulated time.
+* **barrier faults, online** — arrivals declaring different participant
+  counts for one barrier, or a count larger than the cluster, can never
+  complete and are flagged at arrival time.
+* **lost wakeups, at drain** — :meth:`finalize` (called by the runtime
+  when the simulation runs dry) reports every barrier still holding
+  arrivals and every lock request still queued: the processes a hung run
+  is actually stuck on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.monitor import StatSet
+from .report import BarrierFinding, LockCycleFinding, LockStallFinding, SanitizeReport
+
+__all__ = ["DeadlockDetector"]
+
+
+class _BarrierWait:
+    """Arrivals at one (not yet released) barrier."""
+
+    __slots__ = ("expected", "arrived", "flagged")
+
+    def __init__(self, expected: int):
+        self.expected = expected
+        self.arrived: List[Tuple[int, float]] = []  # (accessor, sim time)
+        self.flagged = False
+
+
+class DeadlockDetector:
+    """Wait-for graph over lock queues plus barrier arrival accounting."""
+
+    def __init__(self, world: int, report: SanitizeReport, stats: StatSet):
+        self.world = world
+        self.report = report
+        self.stats = stats
+        #: lock name -> current owner accessor
+        self._owner: Dict[str, int] = {}
+        #: accessor -> (lock it waits for, wait start time)
+        self._waiting: Dict[int, Tuple[str, float]] = {}
+        #: barrier name -> pending arrivals
+        self._barriers: Dict[str, _BarrierWait] = {}
+        #: cycles already reported (as frozensets of edges)
+        self._seen_cycles: Set[frozenset] = set()
+
+    # -- lock hooks (home-kernel side, exact) --------------------------------
+    def on_lock_granted(self, accessor: int, name: str) -> None:
+        self._owner[name] = accessor
+        self._waiting.pop(accessor, None)
+
+    def on_lock_released(self, name: str) -> None:
+        self._owner.pop(name, None)
+
+    def on_lock_wait(self, accessor: int, name: str, now: float) -> None:
+        """A request was queued behind the current owner: add the edge and
+        walk the (functional) wait-for graph for a cycle."""
+        self._waiting[accessor] = (name, now)
+        cycle: List[Tuple[int, str, int]] = []
+        node = accessor
+        on_path: Set[int] = set()
+        while node in self._waiting and node not in on_path:
+            on_path.add(node)
+            lock, _since = self._waiting[node]
+            holder = self._owner.get(lock)
+            if holder is None:
+                return  # ownership in transfer: no cycle through a free lock
+            cycle.append((node, lock, holder))
+            node = holder
+        if node != accessor or not cycle:
+            return
+        key = frozenset(cycle)
+        if key in self._seen_cycles:
+            return
+        self._seen_cycles.add(key)
+        self.report.lock_cycles.append(LockCycleFinding(cycle=cycle, time=now))
+        self.stats.counter("lock_cycles").increment()
+
+    # -- barrier hooks --------------------------------------------------------
+    def on_barrier_arrive(
+        self, accessor: int, name: str, parties: int, now: float
+    ) -> None:
+        state = self._barriers.get(name)
+        if state is None:
+            state = self._barriers[name] = _BarrierWait(parties)
+        state.arrived.append((accessor, now))
+        if not state.flagged and parties != state.expected:
+            state.flagged = True
+            self._barrier_fault(
+                "mismatch", name, state, now,
+                detail=(
+                    f"proc {accessor} arrived expecting {parties} parties, "
+                    f"earlier arrivals expected {state.expected}"
+                ),
+            )
+        elif not state.flagged and parties > self.world:
+            state.flagged = True
+            self._barrier_fault(
+                "impossible", name, state, now,
+                detail=(
+                    f"{parties} parties required but the cluster only has "
+                    f"{self.world} processors — this barrier can never complete"
+                ),
+            )
+
+    def on_barrier_release(self, name: str) -> None:
+        self._barriers.pop(name, None)
+
+    def _barrier_fault(
+        self, kind: str, name: str, state: _BarrierWait, now: float, detail: str
+    ) -> None:
+        self.report.barrier_faults.append(
+            BarrierFinding(
+                kind=kind,
+                name=name,
+                expected=state.expected,
+                arrived=[a for a, _ in state.arrived],
+                detail=detail,
+                time=now,
+            )
+        )
+        self.stats.counter("barrier_faults").increment()
+
+    # -- drain analysis -------------------------------------------------------
+    def finalize(self, now: float) -> None:
+        """Report everything still waiting when the simulation ran dry."""
+        in_cycle = {waiter for key in self._seen_cycles for waiter, _, _ in key}
+        for name in sorted(self._barriers):
+            state = self._barriers[name]
+            if state.flagged or not state.arrived:
+                continue  # already reported online / nothing pending
+            self._barrier_fault(
+                "stuck", name, state, now,
+                detail=(
+                    f"{state.expected - len(state.arrived)} participant(s) "
+                    "never arrived (lost wakeup or early exit)"
+                ),
+            )
+        for accessor in sorted(self._waiting):
+            if accessor in in_cycle:
+                continue  # the cycle finding already covers this waiter
+            name, since = self._waiting[accessor]
+            self.report.lock_stalls.append(
+                LockStallFinding(
+                    waiter=accessor,
+                    name=name,
+                    holder=self._owner.get(name),
+                    time=since,
+                )
+            )
+            self.stats.counter("lock_stalls").increment()
+
+    # -- introspection (tests) ------------------------------------------------
+    def waiting_on(self, accessor: int) -> Optional[str]:
+        entry = self._waiting.get(accessor)
+        return entry[0] if entry else None

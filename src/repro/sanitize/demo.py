@@ -1,0 +1,120 @@
+"""Intentionally buggy guest programs the sanitizers must flag.
+
+These workers are the fixtures behind ``examples/racy_sum.py``,
+``examples/bad_barrier.py``, the ``dse-experiments sanitize --demo``
+smoke run, and the detection tests: each exhibits exactly one classic
+concurrency bug against the paper's programming model, with a correct
+twin where the contrast is instructive.
+
+* :func:`racy_counter_worker` — the canonical lost update: every rank
+  read-modify-writes one shared counter with **no lock**.
+* :func:`locked_counter_worker` — the correct twin, counter guarded by a
+  DSE mutex (race-free; the final value is exact).
+* :func:`impossible_barrier_worker` — every rank waits at a barrier
+  declared for ``size + 1`` parties, which can never complete.
+* :func:`mismatch_barrier_worker` — rank 0 declares a different
+  participant count than everyone else.
+* :func:`lock_cycle_worker` — ABBA deadlock: even ranks take lock A then
+  B, odd ranks B then A.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator
+
+from ..sim.core import Event
+
+__all__ = [
+    "COUNTER_ADDR",
+    "racy_counter_worker",
+    "locked_counter_worker",
+    "impossible_barrier_worker",
+    "mismatch_barrier_worker",
+    "lock_cycle_worker",
+]
+
+#: global-memory word holding the shared counter
+COUNTER_ADDR = 0
+
+_COUNTER_LOCK = "demo.counter"
+
+
+def racy_counter_worker(
+    api, increments: int = 4
+) -> Generator[Event, Any, Dict[str, float]]:
+    """Unlocked shared counter: the textbook lost-update data race.
+
+    Every rank performs ``increments`` read-modify-write cycles on one
+    global word with no synchronisation.  Increments from concurrent
+    ranks overwrite each other, so the final value generally falls short
+    of ``size * increments`` — and the race detector flags every
+    read/write and write/write pair.
+    """
+    for _ in range(increments):
+        value = yield from api.gm_read_scalar(COUNTER_ADDR)
+        yield from api.gm_write_scalar(COUNTER_ADDR, value + 1.0)
+    final = yield from api.gm_read_scalar(COUNTER_ADDR)
+    return {"rank": float(api.rank), "final": final}
+
+
+def locked_counter_worker(
+    api, increments: int = 4
+) -> Generator[Event, Any, Dict[str, float]]:
+    """The correct twin of :func:`racy_counter_worker` (mutex-guarded)."""
+    for _ in range(increments):
+        yield from api.lock(_COUNTER_LOCK)
+        value = yield from api.gm_read_scalar(COUNTER_ADDR)
+        yield from api.gm_write_scalar(COUNTER_ADDR, value + 1.0)
+        yield from api.unlock(_COUNTER_LOCK)
+    yield from api.barrier("demo.counted")
+    final = yield from api.gm_read_scalar(COUNTER_ADDR)
+    return {"rank": float(api.rank), "final": final}
+
+
+def impossible_barrier_worker(api) -> Generator[Event, Any, float]:
+    """Barrier declared for more parties than the cluster has processors.
+
+    Every rank arrives at ``demo.sync`` expecting ``size + 1`` parties;
+    the (size+1)-th participant does not exist, so the run hangs.  The
+    deadlock detector flags the impossible count online, at the first
+    arrival.
+    """
+    yield from api.barrier("demo.sync", api.size + 1)
+    return 0.0  # pragma: no cover - the barrier never releases
+
+
+def mismatch_barrier_worker(api) -> Generator[Event, Any, float]:
+    """Ranks disagree on the participant count of one barrier.
+
+    Rank 0 declares ``size + 1`` parties, everyone else ``size``.  The
+    detector flags the disagreement the moment the second count appears.
+    Whether the run completes depends on arrival order — which is exactly
+    why the static declaration mismatch is worth flagging online.
+    """
+    parties = api.size + 1 if api.rank == 0 else api.size
+    yield from api.barrier("demo.phase", parties)
+    return 0.0
+
+
+def lock_cycle_worker(api) -> Generator[Event, Any, float]:
+    """ABBA deadlock: opposite lock orderings on two mutexes.
+
+    Rank 0 takes ``demo.A`` then ``demo.B``; rank 1 the reverse.  The
+    two-party barrier between the first and second acquisition guarantees
+    both first locks are held before either second request goes out, so
+    the wait-for cycle closes on every platform and processor count
+    (a timing stagger alone does not — message round-trips on a slow
+    shared bus can exceed any fixed stagger and serialise the pair).
+    Other ranks are spectators.
+    """
+    if api.rank >= 2:
+        return 0.0
+    first, second = (
+        ("demo.A", "demo.B") if api.rank == 0 else ("demo.B", "demo.A")
+    )
+    yield from api.lock(first)
+    yield from api.barrier("demo.armed", 2)  # both first locks now held
+    yield from api.lock(second)  # pragma: no cover - deadlocks before grant
+    yield from api.unlock(second)
+    yield from api.unlock(first)
+    return 0.0

@@ -1,0 +1,330 @@
+"""Dynamic data-race detection for guest global-memory programs.
+
+The simulator sees every global-memory access and every synchronisation
+event, so race detection needs no probabilistic scheduling: one sanitized
+run covers every pair of accesses the program performs.  The detector is
+the classic **hybrid** of two algorithms (TSan-style):
+
+* **happens-before** — every DSE process carries a sparse vector clock
+  (:mod:`repro.sanitize.vc`).  Lock releases publish the releaser's clock
+  into a per-lock clock joined by the next acquirer; barriers join all
+  participants' clocks and redistribute the merge; process spawn/join
+  edges flow through :mod:`repro.dse.procman` hooks.
+* **lockset** — each access records the set of DSE locks its process held;
+  two conflicting accesses sharing a lock are consistently protected even
+  when the clocks alone cannot order them.
+
+A pair is reported **only when both say "unordered"**: different
+processes, overlapping words, at least one write, no common lock, and
+neither access happens-before the other.  Shadow state is kept per global
+memory *block* (the coherence granularity), but races are confirmed at
+word precision inside the block, so false sharing — two processes writing
+different words of one block — is *not* reported.
+
+Access events are recorded when the guest calls ``read``/``write``
+(program order), which is the ordering happens-before reasons about;
+write-combining and batched coherence fills only change *wire* timing and
+therefore never hide a race from the detector.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..sim.monitor import StatSet
+from .report import AccessInfo, RaceFinding, SanitizeReport
+from .vc import VectorClock
+
+__all__ = ["RaceDetector", "guest_site"]
+
+#: per (block, kind) shadow history cap; oldest entries beyond it are
+#: dropped (a warning counter records the truncation)
+SHADOW_CAP = 128
+
+#: module prefixes that are runtime machinery, not guest code, when
+#: attributing an access to a source site
+_RUNTIME_PARTS = (
+    "/repro/sanitize/race",  # not the whole package: demo guests ARE guest code
+    "/repro/dse/gmem",
+    "/repro/dse/coherence",
+    "/repro/dse/api",
+    "/repro/dse/sync",
+    "/repro/dse/kernel",
+    "/repro/dse/exchange",
+    "/repro/sim/",
+    "/repro/osmodel/",
+)
+
+
+def guest_site(skip: int = 2) -> str:
+    """Attribute the current operation to the nearest guest stack frame.
+
+    During a ``yield from`` chain every driving generator's frame is live
+    on the stack, so walking outward from the instrumentation site finds
+    the application (or example) frame that issued the access.
+    """
+    try:
+        frame = sys._getframe(skip)
+    except ValueError:  # pragma: no cover - stack shallower than skip
+        return "<unknown>"
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not any(part in filename for part in _RUNTIME_PARTS):
+            name = filename.rsplit("/", 1)[-1]
+            return f"{name}:{frame.f_lineno} in {frame.f_code.co_name}"
+        frame = frame.f_back
+    return "<runtime>"
+
+
+class _Access:
+    """One recorded access, clipped to a single block."""
+
+    __slots__ = ("accessor", "own", "lo", "hi", "time", "site", "locks")
+
+    def __init__(
+        self,
+        accessor: int,
+        own: int,
+        lo: int,
+        hi: int,
+        time: float,
+        site: str,
+        locks: FrozenSet[str],
+    ):
+        self.accessor = accessor
+        self.own = own  # accessor's own clock component at access time
+        self.lo = lo
+        self.hi = hi
+        self.time = time
+        self.site = site
+        self.locks = locks
+
+
+class _BlockShadow:
+    """Recent reads and writes touching one block."""
+
+    __slots__ = ("reads", "writes")
+
+    def __init__(self) -> None:
+        self.reads: List[_Access] = []
+        self.writes: List[_Access] = []
+
+
+class RaceDetector:
+    """Hybrid lockset + happens-before detector over per-block shadow state."""
+
+    def __init__(
+        self,
+        block_words: int,
+        report: SanitizeReport,
+        stats: StatSet,
+        max_reports: int = 64,
+    ):
+        self.block_words = block_words
+        self.report = report
+        self.stats = stats
+        self.max_reports = max_reports
+        #: per-accessor vector clock (created on first sight)
+        self._vc: Dict[int, VectorClock] = {}
+        #: per-accessor set of currently held DSE lock names
+        self._held: Dict[int, Set[str]] = {}
+        #: per-lock clock published at release, joined at acquire
+        self._lock_clock: Dict[str, VectorClock] = {}
+        #: accumulating barrier state: name -> [clock, arrived, generation]
+        self._barrier_acc: Dict[str, List] = {}
+        #: sealed barrier clocks: (name, generation) -> [clock, refcount]
+        self._barrier_sealed: Dict[Tuple[str, int], List] = {}
+        #: which generation each accessor's pending arrival belongs to
+        self._arrival_gen: Dict[Tuple[str, int], int] = {}
+        #: clocks captured at spawn / completion for fork-join edges
+        self._spawn_clock: Dict[int, VectorClock] = {}
+        self._done_clock: Dict[int, VectorClock] = {}
+        #: shadow memory: block -> recent accesses
+        self._shadow: Dict[int, _BlockShadow] = {}
+        #: (site pair, op pair) keys already reported, for deduplication
+        self._reported: Dict[Tuple, RaceFinding] = {}
+
+    # -- clock plumbing -----------------------------------------------------
+    def clock_of(self, accessor: int) -> VectorClock:
+        vc = self._vc.get(accessor)
+        if vc is None:
+            vc = self._vc[accessor] = VectorClock()
+            # A fresh accessor starts at own-time 1, not 0: another clock's
+            # missing component reads 0, and "own <= 0" would make a new
+            # accessor's first accesses happen-before everybody's.
+            vc.tick(accessor)
+        return vc
+
+    def locks_of(self, accessor: int) -> Set[str]:
+        held = self._held.get(accessor)
+        if held is None:
+            held = self._held[accessor] = set()
+        return held
+
+    # -- synchronisation hooks ----------------------------------------------
+    def on_acquire(self, accessor: int, name: str) -> None:
+        """Lock granted: join the lock's published clock, start holding."""
+        self.stats.counter("sync_ops").increment()
+        self.clock_of(accessor).join(self._lock_clock.get(name))
+        self.locks_of(accessor).add(name)
+
+    def on_release(self, accessor: int, name: str) -> None:
+        """Lock released: publish the releaser's clock, stop holding."""
+        self.stats.counter("sync_ops").increment()
+        vc = self.clock_of(accessor)
+        clock = self._lock_clock.get(name)
+        if clock is None:
+            clock = self._lock_clock[name] = VectorClock()
+        clock.join(vc)
+        vc.tick(accessor)
+        self.locks_of(accessor).discard(name)
+
+    def on_barrier_arrive(self, accessor: int, name: str, parties: int) -> None:
+        """Arrival: contribute this clock to the barrier's merge."""
+        self.stats.counter("sync_ops").increment()
+        state = self._barrier_acc.get(name)
+        if state is None:
+            state = self._barrier_acc[name] = [VectorClock(), 0, 0]
+        vc = self.clock_of(accessor)
+        state[0].join(vc)
+        vc.tick(accessor)
+        state[1] += 1
+        self._arrival_gen[(name, accessor)] = state[2]
+        if state[1] >= parties:
+            self._barrier_sealed[(name, state[2])] = [state[0], state[1]]
+            self._barrier_acc[name] = [VectorClock(), 0, state[2] + 1]
+
+    def on_barrier_done(self, accessor: int, name: str) -> None:
+        """Release: adopt the merged clock of this barrier generation."""
+        gen = self._arrival_gen.pop((name, accessor), None)
+        if gen is None:  # pragma: no cover - release without arrival
+            return
+        sealed = self._barrier_sealed.get((name, gen))
+        if sealed is None:
+            # Parties mismatch kept the barrier from sealing; best effort:
+            # join the still-accumulating clock (deadlock detector reports
+            # the mismatch itself).
+            state = self._barrier_acc.get(name)
+            self.clock_of(accessor).join(state[0] if state else None)
+            return
+        self.clock_of(accessor).join(sealed[0])
+        sealed[1] -= 1
+        if sealed[1] <= 0:
+            del self._barrier_sealed[(name, gen)]
+
+    def on_spawn(self, parent: int, child: int) -> None:
+        """Parent invokes a DSE process: the child inherits parent's clock."""
+        vc = self.clock_of(parent)
+        self._spawn_clock[child] = vc.copy()
+        vc.tick(parent)
+
+    def on_child_start(self, child: int) -> None:
+        self.clock_of(child).join(self._spawn_clock.pop(child, None))
+
+    def on_child_done(self, child: int) -> None:
+        """Child completion: publish its final clock for the joiner."""
+        vc = self.clock_of(child)
+        self._done_clock[child] = vc.copy()
+        vc.tick(child)
+
+    def on_join(self, parent: int, child: int) -> None:
+        self.clock_of(parent).join(self._done_clock.get(child))
+
+    # -- the access hook -----------------------------------------------------
+    def on_access(
+        self, accessor: int, addr: int, nwords: int, is_write: bool, now: float
+    ) -> None:
+        """Record one guest read/write and check it against the shadow."""
+        self.stats.counter("accesses_checked").increment()
+        vc = self.clock_of(accessor)
+        locks = frozenset(self._held.get(accessor) or ())
+        site = guest_site()
+        op = "write" if is_write else "read"
+        bw = self.block_words
+        end = addr + nwords
+        for block in range(addr // bw, (end - 1) // bw + 1):
+            lo = max(addr, block * bw)
+            hi = min(end, (block + 1) * bw)
+            shadow = self._shadow.get(block)
+            if shadow is None:
+                shadow = self._shadow[block] = _BlockShadow()
+            access = _Access(accessor, vc.get(accessor), lo, hi, now, site, locks)
+            # A write conflicts with prior reads and writes; a read only
+            # with prior writes.
+            self._check(shadow.writes, access, vc, "write", op)
+            if is_write:
+                self._check(shadow.reads, access, vc, "read", op)
+            self._remember(shadow.writes if is_write else shadow.reads, access)
+
+    def _check(
+        self,
+        others: List[_Access],
+        access: _Access,
+        vc: VectorClock,
+        other_op: str,
+        op: str,
+    ) -> None:
+        for other in others:
+            if other.accessor == access.accessor:
+                continue  # program order
+            lo = max(other.lo, access.lo)
+            hi = min(other.hi, access.hi)
+            if lo >= hi:
+                continue  # disjoint words: false sharing is not a race
+            if other.own <= vc.get(other.accessor):
+                continue  # happens-before ordered
+            if other.locks & access.locks:
+                continue  # consistently lock-protected
+            self._report(other, access, other_op, op, lo, hi)
+
+    def _remember(self, entries: List[_Access], access: _Access) -> None:
+        # Same-accessor same-kind entries fully covered by the new access
+        # are superseded for every *future* happens-before test (the newer
+        # access carries the larger clock), so drop them.
+        entries[:] = [
+            e
+            for e in entries
+            if not (
+                e.accessor == access.accessor
+                and access.lo <= e.lo
+                and e.hi <= access.hi
+            )
+        ]
+        entries.append(access)
+        if len(entries) > SHADOW_CAP:
+            del entries[0]
+            self.stats.counter("shadow_evictions").increment()
+
+    def _report(
+        self,
+        other: _Access,
+        access: _Access,
+        other_op: str,
+        op: str,
+        lo: int,
+        hi: int,
+    ) -> None:
+        key = (other.site, other_op, access.site, op)
+        existing = self._reported.get(key)
+        if existing is not None:
+            existing.count += 1
+            return
+        if len(self._reported) >= self.max_reports:
+            self.stats.counter("reports_dropped").increment()
+            return
+        finding = RaceFinding(
+            block=lo // self.block_words,
+            overlap=(lo, hi),
+            first=AccessInfo(
+                other.accessor, other_op, other.lo, other.hi - other.lo,
+                other.time, other.site, other.locks,
+            ),
+            second=AccessInfo(
+                access.accessor, op, access.lo, access.hi - access.lo,
+                access.time, access.site, access.locks,
+            ),
+        )
+        self._reported[key] = finding
+        self.report.races.append(finding)
+        self.stats.counter("races").increment()

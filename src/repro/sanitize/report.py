@@ -1,0 +1,147 @@
+"""Sanitizer findings and the human-readable report.
+
+Every detector appends structured findings to one shared
+:class:`SanitizeReport`; ``format()`` renders the readable report the CLI
+prints and :func:`repro.dse.runtime.run_master` attaches to the error when
+a sanitized run never completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "AccessInfo",
+    "RaceFinding",
+    "LockCycleFinding",
+    "BarrierFinding",
+    "LockStallFinding",
+    "SanitizeReport",
+]
+
+
+@dataclass
+class AccessInfo:
+    """One side of a racy pair: who touched what, where, when, holding what."""
+
+    accessor: int
+    op: str  # "read" | "write"
+    addr: int
+    nwords: int
+    time: float
+    site: str
+    locks: FrozenSet[str]
+
+    def describe(self) -> str:
+        held = ", ".join(sorted(self.locks)) if self.locks else "no locks"
+        return (
+            f"proc {self.accessor} {self.op} [{self.addr}, {self.addr + self.nwords})"
+            f" at t={self.time:.6f}s ({held}) — {self.site}"
+        )
+
+
+@dataclass
+class RaceFinding:
+    """Two unordered, lock-disjoint conflicting accesses to one block."""
+
+    block: int
+    overlap: Tuple[int, int]  # word range both sides touch
+    first: AccessInfo
+    second: AccessInfo
+    count: int = 1  # occurrences collapsed into this finding
+
+    def describe(self) -> str:
+        dup = f" (x{self.count})" if self.count > 1 else ""
+        return (
+            f"data race on block {self.block} words "
+            f"[{self.overlap[0]}, {self.overlap[1]}){dup}\n"
+            f"    {self.first.describe()}\n"
+            f"    {self.second.describe()}"
+        )
+
+
+@dataclass
+class LockCycleFinding:
+    """A cycle in the lock wait-for graph (each edge: waiter -> lock -> holder)."""
+
+    cycle: List[Tuple[int, str, int]]  # (waiter, lock name, holder)
+    time: float
+
+    def describe(self) -> str:
+        edges = "\n".join(
+            f"    proc {waiter} waits for lock {name!r} held by proc {holder}"
+            for waiter, name, holder in self.cycle
+        )
+        return f"lock deadlock cycle at t={self.time:.6f}s:\n{edges}"
+
+
+@dataclass
+class BarrierFinding:
+    """A barrier that cannot (or did not) complete."""
+
+    kind: str  # "mismatch" | "impossible" | "stuck"
+    name: str
+    expected: int
+    arrived: List[int] = field(default_factory=list)
+    detail: str = ""
+    time: float = 0.0
+
+    def describe(self) -> str:
+        who = ", ".join(f"proc {a}" for a in self.arrived) or "nobody"
+        base = (
+            f"barrier {self.name!r} [{self.kind}] at t={self.time:.6f}s: "
+            f"{len(self.arrived)}/{self.expected} arrived ({who})"
+        )
+        return base + (f"\n    {self.detail}" if self.detail else "")
+
+
+@dataclass
+class LockStallFinding:
+    """A lock request still queued when the run drained (lost wakeup)."""
+
+    waiter: int
+    name: str
+    holder: Optional[int]
+    time: float
+
+    def describe(self) -> str:
+        held = f"held by proc {self.holder}" if self.holder is not None else "unowned"
+        return (
+            f"lock {self.name!r} never granted to proc {self.waiter} "
+            f"({held}; waiting since t={self.time:.6f}s)"
+        )
+
+
+class SanitizeReport:
+    """All findings of one sanitized run, in detection order per category."""
+
+    def __init__(self) -> None:
+        self.races: List[RaceFinding] = []
+        self.lock_cycles: List[LockCycleFinding] = []
+        self.barrier_faults: List[BarrierFinding] = []
+        self.lock_stalls: List[LockStallFinding] = []
+
+    @property
+    def findings(self) -> List[object]:
+        return [*self.races, *self.lock_cycles, *self.barrier_faults, *self.lock_stalls]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.races)} race(s), {len(self.lock_cycles)} lock cycle(s), "
+            f"{len(self.barrier_faults)} barrier fault(s), "
+            f"{len(self.lock_stalls)} stalled lock request(s)"
+        )
+
+    def format(self) -> str:
+        """The readable multi-line report (empty-state friendly)."""
+        if self.clean:
+            return "sanitizers: no findings"
+        lines = [f"sanitizers: {self.summary()}"]
+        for i, finding in enumerate(self.findings, 1):
+            lines.append(f"  #{i} {finding.describe()}")
+        return "\n".join(lines)

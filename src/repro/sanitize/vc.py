@@ -1,0 +1,52 @@
+"""Sparse vector clocks for the dynamic sanitizers.
+
+Accessors (DSE processes) are created dynamically — SPMD ranks, task-farm
+jobs with fresh private ranks — so clocks are sparse dicts rather than
+fixed-width arrays: a missing component is zero.  Clock values only ever
+grow, which keeps the happens-before test one integer comparison per
+stored event (see :mod:`repro.sanitize.race`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A sparse vector clock: ``{accessor id: logical time}``."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, init: Optional[Dict[int, int]] = None):
+        self._c: Dict[int, int] = dict(init) if init else {}
+
+    def get(self, accessor: int) -> int:
+        """This clock's component for ``accessor`` (0 when absent)."""
+        return self._c.get(accessor, 0)
+
+    def tick(self, accessor: int) -> int:
+        """Advance ``accessor``'s own component; returns the new value."""
+        value = self._c.get(accessor, 0) + 1
+        self._c[accessor] = value
+        return value
+
+    def join(self, other: Optional["VectorClock"]) -> None:
+        """Pointwise maximum with ``other`` (no-op for ``None``)."""
+        if other is None:
+            return
+        mine = self._c
+        for accessor, value in other._c.items():
+            if value > mine.get(accessor, 0):
+                mine[accessor] = value
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._c.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self._c.items()))
+        return f"<VC {{{inner}}}>"

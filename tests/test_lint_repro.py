@@ -1,0 +1,159 @@
+"""Tests for tools/lint_repro.py, the determinism lint.
+
+Each rule must fire on a minimal offending fixture and stay silent on
+the blessed alternative; the repo's own source must lint clean (that is
+the CI gate this tool exists for).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO_ROOT / "tools" / "lint_repro.py"
+)
+lint_repro = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint_repro)
+
+
+def lint_source(tmp_path, source):
+    """Lint one source string; returns the list of error lines."""
+    path = tmp_path / "fixture.py"
+    path.write_text(source)
+    return lint_repro.lint_file(path, tmp_path)
+
+
+def rules_of(errors):
+    return [err.split("[", 1)[1].split("]", 1)[0] for err in errors]
+
+
+# -- wall-clock ---------------------------------------------------------------
+def test_wall_clock_flags_time_time(tmp_path):
+    errors = lint_source(tmp_path, "import time\nt = time.time()\n")
+    assert rules_of(errors) == ["wall-clock"]
+    assert "fixture.py:2" in errors[0]
+
+
+def test_wall_clock_flags_monotonic_and_datetime_now(tmp_path):
+    source = (
+        "import time, datetime\n"
+        "a = time.monotonic()\n"
+        "b = datetime.datetime.now()\n"
+        "c = datetime.date.today()\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["wall-clock"] * 3
+
+
+def test_wall_clock_allows_perf_counter(tmp_path):
+    source = "import time\nt0 = time.perf_counter()\nt1 = time.perf_counter_ns()\n"
+    assert lint_source(tmp_path, source) == []
+
+
+# -- global-random ------------------------------------------------------------
+def test_global_random_flags_module_level_draws(tmp_path):
+    source = (
+        "import random\nimport numpy as np\n"
+        "a = random.random()\n"
+        "b = random.shuffle([1])\n"
+        "c = np.random.rand(3)\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["global-random"] * 3
+
+
+def test_global_random_allows_seeded_constructors(tmp_path):
+    source = (
+        "import random\nimport numpy as np\n"
+        "rng = random.Random(7)\n"
+        "x = rng.random()\n"
+        "g = np.random.default_rng(7)\n"
+        "ss = np.random.SeedSequence(7)\n"
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+# -- unsorted-set-iter --------------------------------------------------------
+def test_set_iter_flags_literals_calls_and_methods(tmp_path):
+    source = (
+        "for x in {1, 2}:\n    pass\n"
+        "for y in set([3, 4]):\n    pass\n"
+        "for z in {1}.union({2}):\n    pass\n"
+        "vals = [v for v in frozenset((5,))]\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["unsorted-set-iter"] * 4
+
+
+def test_set_iter_tracks_local_names_and_set_algebra(tmp_path):
+    source = (
+        "def f(a, b):\n"
+        "    s = set(a) & set(b)\n"
+        "    for x in s:\n"
+        "        pass\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["unsorted-set-iter"]
+
+
+def test_set_iter_rebinding_to_non_set_clears_tracking(tmp_path):
+    source = (
+        "def f(a):\n"
+        "    s = set(a)\n"
+        "    s = sorted(s)\n"
+        "    for x in s:\n"
+        "        pass\n"
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+def test_set_iter_allows_sorted_wrapper_and_dicts(tmp_path):
+    source = (
+        "for x in sorted({1, 2}):\n    pass\n"
+        "for k in {'a': 1}:\n    pass\n"
+        "d = {'a': 1} | {'b': 2}\n"
+        "for k in d:\n    pass\n"
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+# -- bare-except --------------------------------------------------------------
+def test_bare_except_flagged_named_allowed(tmp_path):
+    source = (
+        "try:\n    pass\nexcept:\n    pass\n"
+        "try:\n    pass\nexcept Exception:\n    pass\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["bare-except"]
+
+
+# -- suppression --------------------------------------------------------------
+def test_allow_comment_suppresses_only_named_rule(tmp_path):
+    source = (
+        "import time\n"
+        "t = time.time()  # lint: allow-wall-clock\n"
+        "u = time.time()  # lint: allow-unsorted-set-iter\n"
+    )
+    errors = lint_source(tmp_path, source)
+    assert rules_of(errors) == ["wall-clock"]
+    assert "fixture.py:3" in errors[0]
+
+
+# -- whole-tree gate ----------------------------------------------------------
+def test_repo_source_lints_clean():
+    targets = [
+        REPO_ROOT / "src" / "repro",
+        REPO_ROOT / "tools",
+        REPO_ROOT / "benchmarks",
+    ]
+    checked, errors = lint_repro.lint_paths(targets, REPO_ROOT)
+    assert checked > 50
+    assert errors == []
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert lint_repro.main(["lint_repro.py", str(clean)]) == 0
+    assert lint_repro.main(["lint_repro.py", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "1 violation(s)" in out

@@ -45,8 +45,10 @@ def test_pin_workload_constants():
 def test_pin_gauss_seidel_point():
     from repro.apps import gauss_seidel_worker
 
+    # Re-pinned when the mid-sweep gather barrier closed the gather/write
+    # race the sanitizer found (one extra barrier per sweep).
     t = elapsed_of(gauss_seidel_worker, (300, 5, 7, False))
-    assert t == pytest.approx(0.162723, rel=1e-3)
+    assert t == pytest.approx(0.177348, rel=1e-3)
 
 
 def test_pin_dct_point():

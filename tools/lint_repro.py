@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulator kernel (static analysis, stdlib ast).
+
+The whole repository's value rests on one property: a run is a pure
+function of its :class:`ClusterConfig` (seed included).  This lint
+rejects the constructs that silently break that property:
+
+    python tools/lint_repro.py [paths...]        # default: src/repro
+
+Rules (all reported as ``path:line: [rule] message``):
+
+* **wall-clock** — ``time.time()``, ``time.time_ns()``,
+  ``time.monotonic()``, ``datetime.now()`` and friends inject host time
+  into the simulation.  ``time.perf_counter`` stays allowed: benchmarks
+  measure real wall duration, they never feed it back into simulated
+  state.
+* **global-random** — module-level ``random.random()`` /
+  ``np.random.rand()`` etc. draw from cross-run shared state; all
+  randomness must flow through seeded generators
+  (``random.Random(seed)``, ``numpy.random.default_rng(seed)``, the
+  repo's ``RandomStreams``).
+* **unsorted-set-iter** — iterating a ``set``/``frozenset`` (or ``dict``
+  built from one) has hash-seed-dependent order; when that order feeds
+  event scheduling or message emission, two identical runs diverge.
+  Wrap the iterable in ``sorted(...)``.
+* **bare-except** — ``except:`` swallows simulator invariant violations
+  (including ``GeneratorExit`` in coroutines); name the exception.
+
+Suppress a deliberate use with a ``# lint: allow-<rule>`` comment on the
+offending line (e.g. ``# lint: allow-wall-clock``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: time-module attributes that read the host clock (simulation poison);
+#: ``perf_counter``/``perf_counter_ns`` are deliberately NOT listed
+_WALL_CLOCK_TIME = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+}
+#: datetime constructors that read the host clock
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+
+#: numpy.random attributes that are fine (seeded-generator constructors)
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+#: set-producing method names (on any object — conservative is fine here,
+#: these names are set-algebra specific)
+_SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+}
+
+
+def _attr_chain(node: ast.AST) -> str:
+    """Dotted name of an attribute chain (``a.b.c``), '' if not one."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Linter(ast.NodeVisitor):
+    """One file's worth of determinism checks."""
+
+    def __init__(self, relpath: str, allowed: dict):
+        self.relpath = relpath
+        self.allowed = allowed  # lineno -> set of allowed rule names
+        self.errors: list[str] = []
+        #: function-local names currently known to be bound to a set
+        self._set_names: list[set] = [set()]
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule in self.allowed.get(node.lineno, ()):
+            return
+        self.errors.append(f"{self.relpath}:{node.lineno}: [{rule}] {message}")
+
+    # -- rule: wall-clock ---------------------------------------------------
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        leaf = chain.rsplit(".", 1)[-1]
+        if chain.startswith("time.") and leaf in _WALL_CLOCK_TIME:
+            self._report(
+                node, "wall-clock",
+                f"{chain}() reads the host clock; simulated code must use "
+                "sim.now (benchmarks: time.perf_counter)",
+            )
+        elif leaf in _WALL_CLOCK_DATETIME and (
+            "datetime" in chain or "date." in chain
+        ):
+            self._report(
+                node, "wall-clock",
+                f"{chain}() reads the host clock; pass timestamps in "
+                "explicitly or use sim.now",
+            )
+
+    # -- rule: global-random ------------------------------------------------
+    def _check_global_random(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if not chain:
+            return
+        parts = chain.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] not in ("Random", "SystemRandom"):
+                self._report(
+                    node, "global-random",
+                    f"{chain}() uses the module-level RNG; draw from a "
+                    "seeded random.Random / RandomStreams instead",
+                )
+        elif len(parts) >= 3 and parts[-2] == "random" and parts[0] in (
+            "np", "numpy"
+        ):
+            if parts[-1] not in _NP_RANDOM_OK:
+                self._report(
+                    node, "global-random",
+                    f"{chain}() uses numpy's global RNG; use "
+                    "numpy.random.default_rng(seed)",
+                )
+
+    # -- rule: unsorted-set-iter --------------------------------------------
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set", "frozenset"
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS
+                and self._is_set_expr(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # Set algebra on a known set; dict | dict is insertion-ordered
+            # (deterministic), so require a *set* on either side.
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_names)
+        return False
+
+    def _check_iteration(self, node: ast.AST, iter_expr: ast.AST) -> None:
+        if self._is_set_expr(iter_expr):
+            self._report(
+                node, "unsorted-set-iter",
+                "iteration order of a set is hash-seed dependent; wrap it "
+                "in sorted(...)",
+            )
+
+    # -- visitors ------------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_wall_clock(node)
+        self._check_global_random(node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track local names bound to set expressions so `s = a & b; for x
+        # in s:` is caught too (single-scope, last-assignment-wins).
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self._set_names[-1].add(target.id)
+                else:
+                    self._set_names[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node, "bare-except",
+                "bare 'except:' hides simulator invariant violations "
+                "(and GeneratorExit in coroutines); name the exception",
+            )
+        self.generic_visit(node)
+
+
+def _allowed_lines(source: str) -> dict:
+    """Map line number -> rules suppressed by ``# lint: allow-<rule>``."""
+    allowed: dict = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        marker = line.rsplit("# lint:", 1)
+        if len(marker) == 2:
+            rules = {
+                token[len("allow-"):]
+                for token in marker[1].split()
+                if token.startswith("allow-")
+            }
+            if rules:
+                allowed[lineno] = rules
+    return allowed
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    """Lint one Python file; returns the error lines."""
+    relpath = str(path.relative_to(root)) if root in path.parents else str(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:  # pragma: no cover - tests would fail first
+        return [f"{relpath}: syntax error: {exc}"]
+    linter = _Linter(relpath, _allowed_lines(source))
+    linter.visit(tree)
+    return linter.errors
+
+
+def lint_paths(paths: list, root: Path) -> "tuple[int, list[str]]":
+    """Lint files/trees; returns (files checked, error lines)."""
+    errors: list[str] = []
+    checked = 0
+    for target in paths:
+        files = sorted(target.rglob("*.py")) if target.is_dir() else [target]
+        for py in files:
+            checked += 1
+            errors.extend(lint_file(py, root))
+    return checked, errors
+
+
+def main(argv: list) -> int:
+    root = Path(__file__).resolve().parents[1]
+    targets = (
+        [Path(a).resolve() for a in argv[1:]]
+        if len(argv) > 1
+        else [root / "src" / "repro"]
+    )
+    checked, errors = lint_paths(targets, root)
+    for err in errors:
+        print(err)
+    print(f"determinism lint: {checked} files checked, {len(errors)} violation(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
