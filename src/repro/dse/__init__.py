@@ -22,11 +22,11 @@ from .exchange import DSE_BASE_PORT, MessageExchange
 from .gmem import GlobalMemoryManager
 from .kernel import DSEKernel
 from .messages import DSEMessage, HEADER_BYTES, MsgType, WORD_BYTES
-from .procman import ProcessManager, RemoteProcHandle
+from .procman import ProcessManager, RemoteProcHandle, TaskLost
 from .runtime import RunResult, run_master, run_parallel
 from .sync import SyncManager
 from .collectives import allreduce, broadcast, gather, reduce, scatter
-from .taskfarm import FARM_RANK_BASE, farm, farm_dynamic
+from .taskfarm import FARM_RANK_BASE, FarmResult, farm, farm_dynamic
 
 __all__ = [
     "ParallelAPI",
@@ -43,11 +43,13 @@ __all__ = [
     "WORD_BYTES",
     "ProcessManager",
     "RemoteProcHandle",
+    "TaskLost",
     "RunResult",
     "run_master",
     "run_parallel",
     "SyncManager",
     "FARM_RANK_BASE",
+    "FarmResult",
     "farm",
     "farm_dynamic",
     "allreduce",

@@ -218,6 +218,24 @@ class ParallelAPI:
                 self._san_race.on_join(self.rank, handle.rank)
         return results
 
+    # -- resilience ----------------------------------------------------------
+    def checkpoint(self, state: Any = None) -> Generator[Event, Any, None]:
+        """Take part in a coordinated checkpoint (resilience subsystem).
+
+        All ranks must call this at the same program point — it is a barrier
+        (twice: enter and commit), making the cut consistent.  ``state`` is
+        this rank's private restart state (e.g. ``{"sweep": 3}``); it is
+        saved to stable storage together with a snapshot of this kernel's
+        home slice of global memory.  After a crash the resilient runner
+        re-invokes every rank with the committed ``state`` and the restored
+        global memory.  A no-op (no events, no messages) when resilience is
+        disabled, so workloads can call it unconditionally.
+        """
+        res = self.kernel._res
+        if res is None:
+            return
+        yield from res.checkpoint(self, state)
+
     # -- misc ----------------------------------------------------------------
     def sleep(self, seconds: float) -> Generator[Event, Any, None]:
         yield from self.kernel.unix_process.sleep(seconds)

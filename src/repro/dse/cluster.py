@@ -53,6 +53,14 @@ class Cluster:
             block_words=config.block_words,
             obs=self.obs,
         )
+        #: resilience manager (None when config.resilience is None).  Must
+        #: exist before the kernels — exchange/gmem/sync/kernel capture the
+        #: reference at construction time (the ``is not None`` pattern).
+        self.resilience = None
+        if config.resilience is not None:
+            from ..resilience.manager import ResilienceManager
+
+            self.resilience = ResilienceManager(self, config.resilience)
 
         n_machines = config.machines_used
         self.network = build_network(self.sim, self.rng, n_machines, config.fabric)
@@ -74,6 +82,11 @@ class Cluster:
                     b.kernel_id, b.machine.station_id, DSE_BASE_PORT + b.kernel_id
                 )
 
+        if self.resilience is not None:
+            # Kernels and routes exist: install the RES_* services, the
+            # heartbeat agents, and the monitor.
+            self.resilience.wire()
+
         #: periodic StatSet/gauge sampler (None unless configured)
         self.metrics: Optional[MetricsSampler] = None
         if config.obs_metrics_interval > 0:
@@ -86,6 +99,8 @@ class Cluster:
         fabric = self.network.fabric
         if self.sanitizer.enabled:
             sampler.register_statset("san", self.sanitizer.stats)
+        if self.resilience is not None:
+            sampler.register_statset("res", self.resilience.stats)
         if hasattr(fabric, "utilization"):
             sampler.register("bus.utilization", lambda: fabric.utilization.level)
         if hasattr(fabric, "collision_rate"):
@@ -162,6 +177,8 @@ class Cluster:
         # Drain the origin's combined writes while every home still serves.
         yield from origin.gmem.flush()
         for k in range(self.size):
+            if self.resilience is not None and not self.resilience.usable(k):
+                continue  # crashed (and never restarted): nothing to stop
             yield from origin.request_shutdown_of(k)
 
     # -- aggregate statistics ---------------------------------------------------
@@ -209,4 +226,22 @@ class Cluster:
                 "sync_ops",
             ):
                 out[f"san.{key}"] = san.counter(key).value
+        if self.resilience is not None:
+            res = self.resilience.stats
+            for key in (
+                "crashes",
+                "restarts",
+                "suspicions",
+                "suspicions_cleared",
+                "deaths",
+                "joins",
+                "heartbeats",
+                "checkpoints",
+                "rollbacks",
+                "tasks_lost",
+                "rpc_aborts",
+                "locks_revoked",
+                "barriers_reconfigured",
+            ):
+                out[f"res.{key}"] = res.counter(key).value
         return out

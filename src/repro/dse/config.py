@@ -68,6 +68,13 @@ class ClusterConfig:
     #: ("race,deadlock") or tuple.  Sanitizers observe only — simulated
     #: time is bit-identical with them on or off.
     sanitize: Any = False
+    #: resilience subsystem (see repro.resilience / docs/resilience.md):
+    #: ``None`` off (the default path adds no events, no RNG draws, and is
+    #: bit-identical in simulated time), or a
+    #: :class:`repro.resilience.ResilienceConfig` to enable heartbeat
+    #: failure detection, crash/partition campaigns, and checkpoint/restart
+    #: recovery.  Requires the datagram transport and home coherence.
+    resilience: Any = None
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -99,6 +106,27 @@ class ClusterConfig:
             self.sanitize_modes
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from None
+        if self.resilience is not None:
+            from ..resilience.config import ResilienceConfig
+
+            if not isinstance(self.resilience, ResilienceConfig):
+                raise ConfigurationError(
+                    "resilience must be None or a ResilienceConfig, "
+                    f"got {type(self.resilience).__name__}"
+                )
+            if self.transport != "datagram":
+                # Reliable transports retransmit to dead kernels forever —
+                # the resilience layer needs sends to crashed nodes to be
+                # silently dropped (datagram semantics).
+                raise ConfigurationError(
+                    "resilience requires the datagram transport "
+                    f"(configured: {self.transport!r})"
+                )
+            if self.coherence != "home":
+                raise ConfigurationError(
+                    "resilience requires the home coherence policy "
+                    f"(configured: {self.coherence!r})"
+                )
 
     @property
     def sanitize_modes(self) -> frozenset:

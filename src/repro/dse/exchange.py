@@ -18,9 +18,9 @@ how distributed locks queue waiters).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Dict, Generator, Optional, Tuple, TYPE_CHECKING
 
-from ..errors import DSEError
+from ..errors import DSEError, KernelUnavailableError
 from ..hardware.cpu import Work
 from ..osmodel.sockets import Socket
 from ..sim.core import Event
@@ -53,6 +53,19 @@ class MessageExchange:
         )
         self.stats = StatSet(f"exchange:k{kernel.kernel_id}")
         self.obs = kernel.obs
+        #: resilience manager (None when disabled — every hook below is one
+        #: attribute load + identity test on the default path)
+        self._res = getattr(kernel.cluster, "resilience", None)
+        #: local membership view (only consulted when resilience is on)
+        self._view = None if self._res is None else self._res.views[kernel.kernel_id]
+        #: piggyback hook the monitor installs on its own kernel; called
+        #: with the source kernel id of every inbound request
+        self._on_message: Optional[Callable[[int], None]] = None
+        #: in-flight remote RPC waits: seq -> (dst kernel, abort event)
+        self._waiting: Dict[int, Tuple[int, Event]] = {}
+        #: last simulated time anything was sent towards the monitor
+        #: (kernel 0) — lets the heartbeat agent piggyback on real traffic
+        self.last_sent_to_monitor = 0.0
 
     def add_route(self, kernel_id: int, station: int, port: int) -> None:
         self.routes[kernel_id] = (station, port)
@@ -70,6 +83,16 @@ class MessageExchange:
         """Send a request and await its matching response."""
         if not msg.is_request:
             raise DSEError(f"request() called with non-request {msg.msg_type}")
+        if (
+            self._view is not None
+            and msg.dst_kernel != self.kernel.kernel_id
+            and not self._view.usable(msg.dst_kernel)
+        ):
+            self.stats.counter("requests_refused_dead").increment()
+            raise KernelUnavailableError(
+                f"kernel {self.kernel.kernel_id} refuses {msg.msg_type.value} "
+                f"to crashed kernel {msg.dst_kernel}"
+            )
         span = None
         if self.obs.enabled and msg.trace is not None:
             local = msg.dst_kernel == self.kernel.kernel_id
@@ -97,7 +120,12 @@ class MessageExchange:
             return response
         self.stats.counter("requests_sent").increment()
         yield from self._transmit(msg)
-        response = yield from self._await_response(msg.seq)
+        try:
+            response = yield from self._await_response(msg.seq, dst=msg.dst_kernel)
+        except KernelUnavailableError:
+            if span is not None:
+                self.obs.end(span, self.sim.now)
+            raise
         if span is not None:
             self.obs.end(span, self.sim.now)
         return response
@@ -131,6 +159,9 @@ class MessageExchange:
 
     def _transmit(self, msg: DSEMessage) -> Generator[Event, Any, None]:
         station, port = self.route_of(msg.dst_kernel)
+        if self._res is not None and msg.dst_kernel == self._res.monitor_id:
+            # Any traffic towards the monitor doubles as a heartbeat.
+            self.last_sent_to_monitor = self.sim.now
         self.stats.counter("bytes_out").increment(msg.size_bytes)
         self.kernel.cluster.tracer.emit(
             self.sim.now,
@@ -140,13 +171,42 @@ class MessageExchange:
         )
         yield from self.socket.sendto(station, port, msg, msg.size_bytes, trace=msg.trace)
 
-    def _await_response(self, seq: int) -> Generator[Event, Any, DSEMessage]:
-        packet = yield from self.socket.recv(
-            filter=lambda p: isinstance(p.payload, DSEMessage)
+    def _await_response(
+        self, seq: int, dst: Optional[int] = None
+    ) -> Generator[Event, Any, DSEMessage]:
+        match = (
+            lambda p: isinstance(p.payload, DSEMessage)
             and p.payload.is_response
             and p.payload.seq == seq
         )
+        if self._res is None or dst is None:
+            packet = yield from self.socket.recv(filter=match)
+            return packet.payload
+        # Resilient wait: the RPC is registered so the death of ``dst`` can
+        # abort it (a datagram to a crashed kernel never gets a response).
+        abort = self.sim.event(name=f"k{self.kernel.kernel_id}.rpc-abort:{seq}")
+        self._waiting[seq] = (dst, abort)
+        try:
+            packet = yield from self.socket.recv(filter=match, abort=abort)
+        finally:
+            self._waiting.pop(seq, None)
+        if packet is None:
+            self.stats.counter("rpcs_aborted").increment()
+            raise KernelUnavailableError(
+                f"kernel {dst} was declared dead while kernel "
+                f"{self.kernel.kernel_id} awaited response #{seq}"
+            )
         return packet.payload
+
+    def abort_waiting_to(self, dead: int) -> int:
+        """Abort every in-flight RPC wait aimed at a dead kernel."""
+        aborted = 0
+        for seq in sorted(self._waiting):
+            dst, abort = self._waiting[seq]
+            if dst == dead and not abort.triggered:
+                abort.succeed()
+                aborted += 1
+        return aborted
 
     # -- incoming -----------------------------------------------------------
     def next_request(self) -> Generator[Event, Any, DSEMessage]:
@@ -156,6 +216,8 @@ class MessageExchange:
         )
         self.stats.counter("requests_received").increment()
         msg = packet.payload
+        if self._on_message is not None:
+            self._on_message(msg.src_kernel)
         self.kernel.cluster.tracer.emit(
             self.sim.now,
             f"k{self.kernel.kernel_id}",
@@ -166,3 +228,14 @@ class MessageExchange:
 
     def close(self) -> None:
         self.socket.close()
+
+    def rebind(self) -> None:
+        """Re-open the listening socket after a kernel reboot (resilience).
+
+        The port is the same; only the owning UNIX process changed.  Inbound
+        packets that arrived while the port was unbound were dropped by the
+        transport (``packets_no_port``), exactly like datagrams to a dead
+        host."""
+        self.socket = self.kernel.machine.open_socket(
+            self.kernel.unix_process, DSE_BASE_PORT + self.kernel.kernel_id
+        )

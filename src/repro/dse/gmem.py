@@ -92,6 +92,11 @@ class GlobalMemoryManager:
         from ..sanitize import NULL_SANITIZER
 
         self._san_race = getattr(kernel.cluster, "sanitizer", NULL_SANITIZER).race
+        #: resilience manager (None when disabled); when on, the high-water
+        #: mark of the local slice is tracked so checkpoints copy only the
+        #: used prefix
+        self._res = getattr(kernel.cluster, "resilience", None)
+        self._hw = 0
 
     # -- address arithmetic -------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -143,7 +148,10 @@ class GlobalMemoryManager:
 
     def _local_write(self, addr: int, values: np.ndarray) -> None:
         lo = addr - self.my_lo
-        self.storage[lo : lo + len(values)] = values
+        hi = lo + len(values)
+        self.storage[lo:hi] = values
+        if self._res is not None and hi > self._hw:
+            self._hw = hi
 
     def _owns(self, addr: int, nwords: int) -> bool:
         return self.my_lo <= addr and addr + nwords <= self.my_hi
@@ -222,8 +230,11 @@ class GlobalMemoryManager:
             status = "ok"
             return data
         finally:
-            del self._read_inflight[key]
-            marker.succeed((status, data))
+            # pop (not del): a crash teardown may clear the table while the
+            # leader is in flight, and this finally also runs on kill
+            self._read_inflight.pop(key, None)
+            if not marker.triggered:
+                marker.succeed((status, data))
 
     def write(
         self, addr: int, values: Any, trace: Any = None, accessor: Any = None
@@ -359,6 +370,36 @@ class GlobalMemoryManager:
         if rsp.status != "ok":
             raise GlobalMemoryError(f"allocation of {nwords} words failed: {rsp.status}")
         return rsp.addr
+
+    # -- resilience ----------------------------------------------------------
+    def snapshot_slice(self) -> np.ndarray:
+        """Copy of the used prefix of this kernel's home slice (checkpoint)."""
+        return self.storage[: self._hw].copy()
+
+    def restore_slice(self, data: Any) -> None:
+        """Overwrite the home slice from a checkpoint snapshot (rollback)."""
+        snap = np.asarray(data, dtype=np.float64)
+        self.storage[:] = 0.0
+        self.storage[: len(snap)] = snap
+        self._hw = len(snap)
+        self._wc.clear()
+        self._read_inflight.clear()
+
+    def lose_memory(self) -> None:
+        """Model the memory loss of a crash: slice zeroed, buffers gone.
+
+        Guest coroutines must be killed *before* this is called — killing a
+        combined-read leader runs its ``finally``, which touches
+        ``_read_inflight``."""
+        self.storage[:] = 0.0
+        self._hw = 0
+        self._wc.clear()
+        self._read_inflight.clear()
+
+    def abort_inflight(self) -> None:
+        """Drop combining state on a surviving kernel during rollback."""
+        self._wc.clear()
+        self._read_inflight.clear()
 
     # -- message handlers (home side) ---------------------------------------
     def handle_read(self, msg: DSEMessage) -> Generator[Event, Any, DSEMessage]:

@@ -12,14 +12,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, Optional, TYPE_CHECKING
 
-from ..errors import DSEError
+from ..errors import DSEError, KernelUnavailableError
 from ..osmodel.machine import Machine
 from ..sim.core import Event, Process
 from ..sim.monitor import StatSet
 from .exchange import MessageExchange
 from .gmem import GlobalMemoryManager
 from .messages import DSEMessage, MsgType
-from .procman import ProcessManager
+from .procman import ProcessManager, TaskLost
 from .sync import SyncManager
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,6 +40,15 @@ class DSEKernel:
         self.stats = StatSet(f"kernel:{kernel_id}")
         #: extension services: message type -> handler (see register_service)
         self.services: Dict[MsgType, Callable[[DSEMessage], Generator]] = {}
+        #: resilience manager (None when disabled) and liveness state
+        self._res = getattr(cluster, "resilience", None)
+        self.alive = True
+        #: bumped on every reboot; lets the monitor tell a fast restart
+        #: from a still-running incarnation
+        self.incarnation = 0
+        #: live request-handler coroutines, tracked only when resilience is
+        #: on so a crash can tear them down with the kernel
+        self._handlers: set = set()
 
         # The one UNIX process holding kernel + DSE processes (paper Fig. 2).
         self.unix_process = machine.spawn(self._body, name=f"dse-k{kernel_id}")
@@ -75,7 +84,26 @@ class DSEKernel:
             # handler (deferred lock, nested coherence RPC) never stalls the
             # service loop — the no-head-of-line-blocking property the paper
             # gets from asynchronous I/O interruption.
-            self.sim.process(self._handle(msg), name=f"k{self.kernel_id}.h{msg.seq}")
+            handler = self.sim.process(
+                self._handle(msg), name=f"k{self.kernel_id}.h{msg.seq}"
+            )
+            if self._res is not None:
+                self._track_handler(handler)
+
+    def _track_handler(self, handler: Process) -> None:
+        """Remember a live handler coroutine so a crash can kill it.
+
+        The completion callback re-raises handler failures: a Process with
+        callbacks would otherwise have its exception swallowed by the event
+        loop's unhandled-failure rule."""
+        self._handlers.add(handler)
+
+        def done(_ev: Event) -> None:
+            self._handlers.discard(handler)
+            if not handler._ok:
+                raise handler._value
+
+        handler.callbacks.append(done)
 
     def _handle(self, msg: DSEMessage) -> Generator[Event, Any, None]:
         span = None
@@ -157,14 +185,25 @@ class DSEKernel:
 
         api = ParallelAPI(self, rank)
         race = self.cluster.sanitizer.race
+        res = self._res
 
         def run() -> Generator[Event, Any, Any]:
             if race is not None:
                 race.on_child_start(rank)
-            value = yield from entry(api, *args)
-            # Completion is a synchronisation point: push out any combined
-            # writes before the invoker learns this process is done.
-            yield from self.gmem.flush()
+            if res is None:
+                value = yield from entry(api, *args)
+                # Completion is a synchronisation point: push out any combined
+                # writes before the invoker learns this process is done.
+                yield from self.gmem.flush()
+            else:
+                try:
+                    value = yield from entry(api, *args)
+                    yield from self.gmem.flush()
+                except KernelUnavailableError as exc:
+                    # A kernel this guest depended on died.  Report the task
+                    # as lost (not failed) so the invoker can retry or roll
+                    # back; the flush is skipped — it may target the corpse.
+                    value = TaskLost(time=self.sim.now, detail=str(exc))
             if race is not None:
                 # Publish the child's final clock before the invoker can
                 # observe completion.
@@ -174,6 +213,30 @@ class DSEKernel:
 
         self.stats.counter("dse_processes").increment()
         return self.sim.process(run(), name=f"dse-proc:r{rank}")
+
+    # -- resilience ------------------------------------------------------------
+    def reboot(self) -> None:
+        """Bring a crashed kernel back up with a fresh incarnation.
+
+        Models a node restart: a new UNIX process runs the service loop, the
+        DSE port is re-bound, and all kernel-local state (global-memory
+        slice, lock/barrier tables, guest registry) starts empty — recovery
+        of *contents* is the checkpoint layer's job."""
+        if self.alive:
+            raise DSEError(f"kernel {self.kernel_id} is already running")
+        self.incarnation += 1
+        self._shutdown = False
+        self._handlers = set()
+        self.unix_process = self.machine.spawn(
+            self._body, name=f"dse-k{self.kernel_id}.r{self.incarnation}"
+        )
+        self.obs_tid = self.unix_process.pid
+        self.exchange.rebind()
+        self.gmem.lose_memory()
+        self.sync.reset()
+        self.procman.clear_guests()
+        self.alive = True
+        self.stats.counter("reboots").increment()
 
     # -- shutdown --------------------------------------------------------------
     def request_shutdown_of(self, target: int) -> Generator[Event, Any, None]:

@@ -74,9 +74,23 @@ class MsgType(Enum):
     KV_DEL_RSP = "kv_del_rsp"
     KV_LIST_REQ = "kv_list_req"
     KV_LIST_RSP = "kv_list_rsp"
+    # resilience (repro.resilience): heartbeats and membership events are
+    # one-way notifications; rollback is a request/response pair
+    RES_HEARTBEAT = "res_heartbeat"  # one-way liveness beacon to the monitor
+    RES_JOIN = "res_join"  # one-way (re)join announcement to the monitor
+    RES_DEAD = "res_dead"  # one-way death declaration broadcast by the monitor
+    RES_ROLLBACK_REQ = "res_rollback_req"
+    RES_ROLLBACK_RSP = "res_rollback_rsp"
 
 
-_REQUESTS = {t for t in MsgType if t.value.endswith("_req")} | {MsgType.PROC_DONE}
+# One-way notifications must be classified as requests explicitly (like
+# PROC_DONE) so ``next_request`` picks them out of the kernel mailbox.
+_REQUESTS = {t for t in MsgType if t.value.endswith("_req")} | {
+    MsgType.PROC_DONE,
+    MsgType.RES_HEARTBEAT,
+    MsgType.RES_JOIN,
+    MsgType.RES_DEAD,
+}
 _RESPONSES = {t for t in MsgType if t.value.endswith("_rsp")}
 
 #: request type -> its response type

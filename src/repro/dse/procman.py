@@ -19,12 +19,31 @@ from .messages import DSEMessage, MsgType
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import DSEKernel
 
-__all__ = ["ProcessManager", "RemoteProcHandle"]
+__all__ = ["ProcessManager", "RemoteProcHandle", "TaskLost"]
 
 #: accounted wire size of a process-invocation payload (entry point name,
 #: marshalled arguments) — a small pickled structure in the real system
 _SPAWN_EXTRA_BYTES = 192
 _DONE_EXTRA_BYTES = 96
+
+
+class TaskLost:
+    """Sentinel completion value for a DSE process lost to a crash.
+
+    Delivered through the normal ``done_event`` (succeed, not fail) so
+    waiters that were not written for failures never blow up; retry-aware
+    callers (``taskfarm.farm_dynamic``, the resilient runner) recognise it
+    with ``isinstance``.
+    """
+
+    __slots__ = ("time", "detail")
+
+    def __init__(self, time: float = 0.0, detail: str = ""):
+        self.time = time
+        self.detail = detail
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TaskLost t={self.time:.6f} {self.detail!r}>"
 
 
 class RemoteProcHandle:
@@ -47,6 +66,8 @@ class ProcessManager:
         self.kernel = kernel
         #: rank -> completion event (succeeds with the return value)
         self._pending: Dict[int, Event] = {}
+        #: rank -> target kernel, for failing pendings when a kernel dies
+        self._pending_target: Dict[int, int] = {}
         #: DSE processes started on this kernel (rank -> sim process)
         self.local_processes: Dict[int, Any] = {}
         self.stats = StatSet(f"procman:k{kernel.kernel_id}")
@@ -64,6 +85,7 @@ class ProcessManager:
             raise ProcessManagementError(f"rank {rank} already pending")
         done = self.kernel.sim.event(name=f"proc-done:r{rank}")
         self._pending[rank] = done
+        self._pending_target[rank] = target_kernel
         msg = DSEMessage(
             msg_type=MsgType.PROC_START_REQ,
             src_kernel=self.kernel.kernel_id,
@@ -72,9 +94,15 @@ class ProcessManager:
             data=(entry, args),
             extra_bytes=_SPAWN_EXTRA_BYTES,
         )
-        rsp = yield from self.kernel.exchange.request(msg)
+        try:
+            rsp = yield from self.kernel.exchange.request(msg)
+        except BaseException:
+            self._pending.pop(rank, None)
+            self._pending_target.pop(rank, None)
+            raise
         if rsp.status != "ok":
             self._pending.pop(rank, None)
+            self._pending_target.pop(rank, None)
             raise ProcessManagementError(
                 f"invocation of rank {rank} on kernel {target_kernel} failed: {rsp.status}"
             )
@@ -123,7 +151,13 @@ class ProcessManager:
     def handle_done(self, msg: DSEMessage) -> Generator[Event, Any, None]:
         rank = msg.addr
         done = self._pending.pop(rank, None)
+        self._pending_target.pop(rank, None)
         if done is None:
+            if self.kernel._res is not None:
+                # A completion can race a crash declaration: the pending was
+                # already failed as TaskLost (or forgotten by a rollback).
+                self.stats.counter("stale_completions").increment()
+                return None
             raise ProcessManagementError(
                 f"PROC_DONE for unknown rank {rank} at kernel {self.kernel.kernel_id}"
             )
@@ -131,3 +165,34 @@ class ProcessManager:
         done.succeed(msg.data)
         return None
         yield  # pragma: no cover - generator parity
+
+    # -- resilience ----------------------------------------------------------
+    def fail_pending_for(self, dead: int, now: float) -> int:
+        """Complete (as :class:`TaskLost`) every pending invocation that was
+        running on a kernel just declared dead."""
+        lost = 0
+        for rank in sorted(self._pending_target):
+            if self._pending_target[rank] != dead:
+                continue
+            done = self._pending.pop(rank, None)
+            self._pending_target.pop(rank, None)
+            if done is not None and not done.triggered:
+                done.succeed(TaskLost(time=now, detail=f"kernel {dead} crashed"))
+                lost += 1
+        if lost:
+            self.stats.counter("tasks_lost").increment(lost)
+        return lost
+
+    def forget(self, rank: int) -> None:
+        """Drop any pending bookkeeping for a rank (rollback re-invocation)."""
+        self._pending.pop(rank, None)
+        self._pending_target.pop(rank, None)
+
+    def clear_guests(self) -> None:
+        """Forget all local guests and pendings (crash/rollback teardown).
+
+        Callers must have killed the guest coroutines first — this only
+        clears the registry."""
+        self.local_processes.clear()
+        self._pending.clear()
+        self._pending_target.clear()

@@ -53,6 +53,9 @@ class SyncManager:
         _san = getattr(kernel.cluster, "sanitizer", NULL_SANITIZER)
         self._san_race = _san.race
         self._san_dead = _san.deadlock
+        #: resilience manager (None when disabled) — used by the barrier
+        #: server to discount participants on declared-dead kernels
+        self._res = getattr(kernel.cluster, "resilience", None)
 
     # -- placement -----------------------------------------------------------
     def lock_home(self, name: str) -> int:
@@ -184,6 +187,8 @@ class SyncManager:
             self._san_dead.on_barrier_arrive(
                 self._acc_of(msg), msg.name, parties, self.kernel.sim.now
             )
+        if self._res is not None and self._res.config.reconfigure_barriers:
+            parties -= self._missing_dead(state, parties)
         if len(state.arrived) < parties:
             return None  # deferred: released by the last arrival
         # Last party: release everyone (the last requester's own response is
@@ -196,6 +201,82 @@ class SyncManager:
         for waiting in arrived[:-1]:
             yield from self.kernel.exchange.reply(waiting.make_response())
         return arrived[-1].make_response()
+
+    # -- resilience ------------------------------------------------------------
+    def _missing_dead(self, state: _BarrierState, parties: int) -> int:
+        """Number of declared-dead kernels that have not arrived at a barrier.
+
+        Approximates "dead participants": assumes at most one participant
+        per kernel (true for the SPMD workloads the resilient runner
+        supports — see docs/resilience.md for the limits)."""
+        view = self._res.views[self.kernel.kernel_id]
+        dead = view.dead_kernels()
+        if not dead:
+            return 0
+        arrived_from = {m.src_kernel for m in state.arrived}
+        return sum(1 for d in dead if d not in arrived_from)
+
+    def reconfigure_barriers(self, trace: Any = None) -> Generator[Event, Any, int]:
+        """Release barriers now satisfiable after deaths (barrier server).
+
+        Called on kernel 0 when a kernel is declared dead and
+        ``reconfigure_barriers`` is configured: each pending barrier's party
+        count is discounted by dead kernels that never arrived; if everyone
+        still alive is already there, the barrier releases."""
+        released = 0
+        for name in sorted(self._barriers):
+            state = self._barriers[name]
+            if not state.arrived:
+                continue
+            parties = state.arrived[0].addr - self._missing_dead(
+                state, state.arrived[0].addr
+            )
+            if len(state.arrived) < parties or parties <= 0:
+                continue
+            arrived, state.arrived = state.arrived, []
+            state.generation += 1
+            released += 1
+            self.stats.counter("barriers_reconfigured").increment()
+            if self._san_dead is not None:
+                self._san_dead.on_barrier_release(name)
+            for waiting in arrived:
+                yield from self.kernel.exchange.reply(waiting.make_response())
+        return released
+
+    def revoke_dead(self, dead: int) -> Generator[Event, Any, int]:
+        """Lease expiry for a dead kernel's locks (this kernel as lock home).
+
+        Locks held by guests of the dead kernel are granted to the next
+        waiter (or freed); queued waiters from the dead kernel are purged."""
+        revoked = 0
+        for name in sorted(self._locks):
+            state = self._locks[name]
+            state.waiters = [w for w in state.waiters if w.src_kernel != dead]
+            if state.held_by != dead:
+                continue
+            revoked += 1
+            self.stats.counter("locks_revoked").increment()
+            if state.waiters:
+                nxt = state.waiters.pop(0)
+                state.held_by = nxt.src_kernel
+                state.held_acc = self._acc_of(nxt)
+                if self._san_dead is not None:
+                    self._san_dead.on_lock_granted(state.held_acc, name)
+                yield from self.kernel.exchange.reply(nxt.make_response())
+            else:
+                state.held_by = -1
+                state.held_acc = -1
+                if self._san_dead is not None:
+                    self._san_dead.on_lock_released(name)
+        return revoked
+
+    def reset(self) -> None:
+        """Drop all lock and barrier state (crash teardown / rollback).
+
+        Consistent because a rollback kills every guest cluster-wide before
+        any restarts — nothing can still be counting on a deferred reply."""
+        self._locks.clear()
+        self._barriers.clear()
 
     # -- introspection ------------------------------------------------------
     def lock_queue_length(self, name: str) -> int:

@@ -10,6 +10,15 @@ Tasks are plain generator functions ``task(api, item)`` running as DSE
 processes on their target kernel — they may use global memory, locks, and
 ``api.compute`` like any other DSE process (but not SPMD barriers over
 ``api.size``; they have private rank ids).
+
+With the resilience subsystem enabled (``ClusterConfig(resilience=...)``)
+``farm_dynamic`` becomes crash-tolerant: tasks are dispatched only to
+kernels the local membership view considers usable, and a task lost to a
+crash (its completion arrives as :class:`repro.dse.procman.TaskLost`) is
+retried on a live kernel with deterministic backoff, up to
+``max_task_retries`` attempts.  The :class:`FarmResult` it returns is a
+plain list of results that additionally reports per-task attempt counts
+and the total simulated compute thrown away to crashes.
 """
 
 from __future__ import annotations
@@ -17,12 +26,12 @@ from __future__ import annotations
 from itertools import count
 from typing import Any, Callable, Generator, List, Optional, Sequence
 
-from ..errors import DSEError
+from ..errors import DSEError, KernelUnavailableError, ResilienceError
 from ..sim.core import Event
 from .api import ParallelAPI
-from .procman import RemoteProcHandle
+from .procman import RemoteProcHandle, TaskLost
 
-__all__ = ["farm", "farm_dynamic", "FARM_RANK_BASE"]
+__all__ = ["farm", "farm_dynamic", "FarmResult", "FARM_RANK_BASE"]
 
 #: farmed tasks get private rank ids above any SPMD rank
 FARM_RANK_BASE = 2_000_000
@@ -34,10 +43,40 @@ def _fresh_rank() -> int:
     return FARM_RANK_BASE + next(_farm_ids)
 
 
+class FarmResult(list):
+    """Results of a ``farm_dynamic`` run, in item order.
+
+    Behaves exactly like the plain list older callers expect, plus
+    bookkeeping the resilience experiments report:
+
+    * ``attempts`` — per-item dispatch counts (all 1 without crashes);
+    * ``retries`` — total re-dispatches (``sum(attempts) - len(items)``);
+    * ``wasted_seconds`` — simulated time between dispatching an attempt
+      and learning it was lost, summed over all lost attempts.
+    """
+
+    def __init__(self, values: Sequence[Any], attempts: Sequence[int], wasted_seconds: float):
+        super().__init__(values)
+        self.attempts = list(attempts)
+        self.retries = sum(self.attempts) - len(self.attempts)
+        self.wasted_seconds = wasted_seconds
+
+
 def _target_of(api: ParallelAPI, index: int, targets: Optional[Sequence[int]]) -> int:
     if targets:
         return targets[index % len(targets)]
     return index % api.size
+
+
+def _live_target_of(
+    api: ParallelAPI, index: int, targets: Optional[Sequence[int]]
+) -> int:
+    """Round-robin target selection restricted to usable kernels."""
+    view = api.kernel._res.views[api.kernel.kernel_id]
+    pool = [t for t in (targets or range(api.size)) if view.usable(t)]
+    if not pool:
+        raise ResilienceError("no usable kernels left to farm tasks to")
+    return pool[index % len(pool)]
 
 
 def farm(
@@ -74,25 +113,66 @@ def farm_dynamic(
     items: Sequence[Any],
     max_in_flight: Optional[int] = None,
     targets: Optional[Sequence[int]] = None,
-) -> Generator[Event, Any, List[Any]]:
+) -> Generator[Event, Any, FarmResult]:
     """Like :func:`farm` but with at most ``max_in_flight`` unfinished
-    tasks (default: two per kernel) — the bounded work-pool pattern."""
+    tasks (default: two per kernel) — the bounded work-pool pattern.
+
+    With resilience enabled, lost tasks are retried on live kernels (see
+    the module docs); the returned :class:`FarmResult` reports attempts,
+    retries, and wasted simulated compute."""
     limit = max_in_flight if max_in_flight is not None else 2 * api.size
     if limit < 1:
         raise DSEError(f"max_in_flight must be >= 1, got {limit}")
+    res = api.kernel._res
     results: List[Any] = [None] * len(items)
-    in_flight: List[tuple] = []  # (index, handle)
+    attempts: List[int] = [0] * len(items)
+    wasted = 0.0
+    in_flight: List[tuple] = []  # (index, handle, dispatched_at)
+    retry_queue: List[int] = []  # item indexes awaiting re-dispatch
     next_item = 0
-    while next_item < len(items) or in_flight:
-        while next_item < len(items) and len(in_flight) < limit:
-            target = _target_of(api, next_item, targets)
-            handle = yield from api.kernel.procman.invoke(
-                target, task, _fresh_rank(), (items[next_item],)
-            )
-            in_flight.append((next_item, handle))
-            next_item += 1
+    while next_item < len(items) or in_flight or retry_queue:
+        while len(in_flight) < limit and (retry_queue or next_item < len(items)):
+            if retry_queue:
+                index = retry_queue.pop(0)
+            else:
+                index = next_item
+                next_item += 1
+            attempt = attempts[index]
+            if res is not None and attempt > 0:
+                # Deterministic backoff: linear in the attempt number.
+                yield from api.sleep(res.config.retry_backoff * attempt)
+                # Rotate the target by the attempt number so a retry lands
+                # on a different kernel than the one that just crashed.
+                target = _live_target_of(api, index + attempt, targets)
+            elif res is not None:
+                target = _live_target_of(api, index, targets)
+            else:
+                target = _target_of(api, index, targets)
+            attempts[index] += 1
+            try:
+                handle = yield from api.kernel.procman.invoke(
+                    target, task, _fresh_rank(), (items[index],)
+                )
+            except KernelUnavailableError:
+                # The target died between the view check and the send.
+                if attempts[index] > res.config.max_task_retries:
+                    raise ResilienceError(
+                        f"task {index} lost after {attempts[index]} attempts"
+                    ) from None
+                retry_queue.append(index)
+                continue
+            in_flight.append((index, handle, api.now))
         # Retire the oldest in-flight task (FIFO keeps ordering simple and
         # still bounds the window; completions themselves are concurrent).
-        index, handle = in_flight.pop(0)
-        results[index] = yield from api.kernel.procman.wait(handle)
-    return results
+        index, handle, dispatched_at = in_flight.pop(0)
+        value = yield from api.kernel.procman.wait(handle)
+        if res is not None and isinstance(value, TaskLost):
+            wasted += max(0.0, value.time - dispatched_at)
+            if attempts[index] > res.config.max_task_retries:
+                raise ResilienceError(
+                    f"task {index} lost after {attempts[index]} attempts"
+                )
+            retry_queue.append(index)
+            continue
+        results[index] = value
+    return FarmResult(results, attempts, wasted)

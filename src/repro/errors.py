@@ -11,6 +11,8 @@ __all__ = [
     "DSEError",
     "GlobalMemoryError",
     "ProcessManagementError",
+    "KernelUnavailableError",
+    "ResilienceError",
     "SSIError",
     "ApplicationError",
 ]
@@ -46,6 +48,14 @@ class GlobalMemoryError(DSEError):
 
 class ProcessManagementError(DSEError):
     """Parallel process invocation/termination failures."""
+
+
+class KernelUnavailableError(DSEError):
+    """An RPC was aimed at (or aborted by the death of) a crashed kernel."""
+
+
+class ResilienceError(DSEError):
+    """Unrecoverable failure inside the resilience subsystem itself."""
 
 
 class SSIError(ReproError):

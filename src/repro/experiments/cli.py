@@ -24,6 +24,13 @@ sanitizers (see :mod:`repro.sanitize` and ``docs/sanitizers.md``)::
 
     dse-experiments sanitize --all
     dse-experiments sanitize --demo
+
+The ``resilience`` subcommand injects kernel crashes into paper workloads
+and measures detection + recovery (see :mod:`repro.resilience` and
+``docs/resilience.md``)::
+
+    dse-experiments resilience --mode spmd --crash-at 0.05
+    dse-experiments resilience --mode farm --crashes 2
 """
 
 from __future__ import annotations
@@ -117,6 +124,10 @@ def main(argv: List[str] | None = None) -> int:
         from ..sanitize.cli import sanitize_main
 
         return sanitize_main(argv[1:])
+    if argv and argv[0] == "resilience":
+        from ..resilience.cli import resilience_main
+
+        return resilience_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="dse-experiments",
         description="Regenerate the tables/figures of the DSE/SSI paper (ICPP 1999).",

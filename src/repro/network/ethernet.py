@@ -18,7 +18,7 @@ The model is event-driven and deterministic given the RNG seed.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from ..errors import NetworkError
 from ..obs.spans import NET_TID, NULL_RECORDER
@@ -68,6 +68,8 @@ class EthernetBus:
         self._idle_event: Optional[Event] = None
         self._contenders: List[Tuple[EthernetFrame, Event]] = []
         self._resolving = False
+        #: station -> partition group id; None = one unbroken segment
+        self._partition: Optional[Dict[int, int]] = None
 
         self.stats = StatSet(name)
         self.utilization = TimeWeighted(f"{name}.util", start_time=sim.now)
@@ -89,6 +91,42 @@ class EthernetBus:
     @property
     def busy(self) -> bool:
         return self._busy
+
+    # -- partitions (resilience fault injection) --------------------------
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Sever the bus into isolated segments (a cut coax / pulled tap).
+
+        Delivery-filtering approximation: carrier sense and collisions stay
+        *global* (the model keeps one contention domain), but frames whose
+        source and destination sit in different segments are dropped — at
+        transmission end and again at propagation end, so frames already in
+        flight when the cut happens never cross it after a heal.
+        """
+        mapping: Dict[int, int] = {}
+        for gid, members in enumerate(groups):
+            for sid in members:
+                if sid not in self._stations:
+                    raise NetworkError(f"station {sid} is not attached to {self.name}")
+                if sid in mapping:
+                    raise NetworkError(f"station {sid} appears in two partition groups")
+                mapping[sid] = gid
+        rest = (max(mapping.values()) + 1) if mapping else 0
+        for sid in self._stations:
+            mapping.setdefault(sid, rest)
+        self._partition = mapping
+        self.stats.counter("partitions").increment()
+
+    def heal(self) -> None:
+        """Rejoin every segment (no-op if not partitioned)."""
+        if self._partition is not None:
+            self._partition = None
+            self.stats.counter("heals").increment()
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Are two stations currently on the same segment?"""
+        if self._partition is None:
+            return True
+        return self._partition.get(a) == self._partition.get(b)
 
     # -- transmission ----------------------------------------------------
     def transmission_time(self, frame: EthernetFrame) -> float:
@@ -189,17 +227,46 @@ class EthernetBus:
                 grant.succeed(_COLLIDED)
 
     def _deliver_after_propagation(self, frame: EthernetFrame) -> None:
+        if (
+            self._partition is not None
+            and frame.dst != BROADCAST
+            and not self.reachable(frame.src, frame.dst)
+        ):
+            # Transmitted into a severed segment: the signal never reaches
+            # the destination; no delivery timer is armed, so the frame
+            # cannot appear after a heal.
+            self.stats.counter("partition_drops").increment()
+            return
         timer = self.sim.timeout(self.prop_delay)
         timer.callbacks.append(lambda _ev: self._deliver(frame))
 
     def _deliver(self, frame: EthernetFrame) -> None:
-        self.stats.counter("frames_delivered").increment()
+        if self._partition is None:
+            # Default (unpartitioned) path: unchanged from the baseline.
+            self.stats.counter("frames_delivered").increment()
+            if frame.dst == BROADCAST:
+                for sid, deliver in self._stations.items():
+                    if sid != frame.src:
+                        deliver(frame)
+            else:
+                self._stations[frame.dst](frame)
+            return
         if frame.dst == BROADCAST:
+            self.stats.counter("frames_delivered").increment()
             for sid, deliver in self._stations.items():
-                if sid != frame.src:
-                    deliver(frame)
-        else:
-            self._stations[frame.dst](frame)
+                if sid == frame.src:
+                    continue
+                if not self.reachable(frame.src, sid):
+                    self.stats.counter("partition_drops").increment()
+                    continue
+                deliver(frame)
+            return
+        if not self.reachable(frame.src, frame.dst):
+            # The cut happened during propagation.
+            self.stats.counter("partition_drops").increment()
+            return
+        self.stats.counter("frames_delivered").increment()
+        self._stations[frame.dst](frame)
 
     # -- reporting ---------------------------------------------------------
     def collision_rate(self) -> float:

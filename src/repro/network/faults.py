@@ -6,10 +6,19 @@ and its consumer and drops (or duplicates/delays) received frames with
 configured probabilities, deterministically per seed — the harness the
 failure-injection tests use to prove the reliable transports actually
 recover.
+
+Losses on real links are *bursty* — a flaky connector or a noise source
+takes the link out for stretches, not one frame at a time.  The optional
+:class:`BurstLossConfig` adds the classic Gilbert–Elliott two-state model:
+the link wanders between a GOOD and a BAD state (per-frame transition
+probabilities), each with its own loss rate.  Resilience campaigns use it
+to model correlated outages that frame-independent (Bernoulli) loss cannot
+produce.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import NetworkError
@@ -19,7 +28,40 @@ from ..sim.rng import RandomStreams
 from .frame import EthernetFrame
 from .nic import NIC
 
-__all__ = ["LossInjector"]
+__all__ = ["LossInjector", "BurstLossConfig"]
+
+
+@dataclass(frozen=True)
+class BurstLossConfig:
+    """Gilbert–Elliott two-state burst-loss parameters.
+
+    On every frame arrival the chain first takes one transition step
+    (GOOD → BAD with ``p_enter_bad``, BAD → GOOD with ``p_exit_bad``), then
+    the frame is lost with the *current* state's loss rate.  Expected burst
+    length is ``1 / p_exit_bad`` frames; the stationary loss rate is
+    ``(pi_bad * loss_bad + pi_good * loss_good)`` with
+    ``pi_bad = p_enter_bad / (p_enter_bad + p_exit_bad)``.
+    """
+
+    p_enter_bad: float = 0.02
+    p_exit_bad: float = 0.25
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_bad", "p_exit_bad", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise NetworkError(f"{name} must be in [0, 1], got {value}")
+
+    @property
+    def stationary_loss(self) -> float:
+        """Long-run frame loss rate of the chain."""
+        denom = self.p_enter_bad + self.p_exit_bad
+        if denom == 0.0:
+            return self.loss_good  # chain never leaves GOOD
+        pi_bad = self.p_enter_bad / denom
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
 
 
 class LossInjector:
@@ -35,6 +77,7 @@ class LossInjector:
         delay_rate: float = 0.0,
         delay_seconds: float = 0.002,
         predicate: Optional[Callable[[EthernetFrame], bool]] = None,
+        burst: Optional[BurstLossConfig] = None,
     ):
         for name, rate in (
             ("drop_rate", drop_rate),
@@ -51,6 +94,12 @@ class LossInjector:
         self.delay_seconds = delay_seconds
         #: only frames matching the predicate are considered for faults
         self.predicate = predicate
+        #: Gilbert–Elliott burst-loss chain (None = Bernoulli-only faults)
+        self.burst = burst
+        self._burst_state = "good"
+        #: separate stream so enabling bursts never perturbs the Bernoulli
+        #: draws (and vice versa) — campaigns stay deterministic per seed
+        self._burst_rng = rng.stream(f"faults:burst:{nic.station_id}")
         self._rng = rng.stream(f"faults:{nic.station_id}")
         self._inner: Optional[Callable[[EthernetFrame], None]] = None
         self.stats = StatSet(f"faults:{nic.station_id}")
@@ -81,6 +130,24 @@ class LossInjector:
         if self.predicate is not None and not self.predicate(frame):
             self._deliver(frame)
             return
+        if self.burst is not None:
+            # One chain step per frame, then the current state's loss rate.
+            step = self._burst_rng.random()
+            if self._burst_state == "good":
+                if step < self.burst.p_enter_bad:
+                    self._burst_state = "bad"
+                    self.stats.counter("bursts_entered").increment()
+            elif step < self.burst.p_exit_bad:
+                self._burst_state = "good"
+            loss = (
+                self.burst.loss_bad
+                if self._burst_state == "bad"
+                else self.burst.loss_good
+            )
+            if loss and self._burst_rng.random() < loss:
+                self.stats.counter("dropped").increment()
+                self.stats.counter(f"dropped_{self._burst_state}").increment()
+                return
         roll = self._rng.random()
         if roll < self.drop_rate:
             self.stats.counter("dropped").increment()

@@ -41,6 +41,9 @@ class NIC:
         #: dropped request/response message would hang the RPC above.
         self.driver_retries = driver_retries
         self.name = name or f"nic{station_id}"
+        #: powered flag (resilience: a halted machine's NIC drops everything;
+        #: the driver process survives the outage and resumes on restart)
+        self.up = True
         self.tx_queue: Store = Store(sim, capacity=tx_queue_depth, name=f"{self.name}.tx")
         self.rx_queue: Store = Store(sim, name=f"{self.name}.rx")
         self._rx_callback: Optional[Callable[[EthernetFrame], None]] = None
@@ -62,6 +65,9 @@ class NIC:
     def _tx_driver(self) -> Generator[Event, Any, None]:
         while True:
             frame = yield self.tx_queue.get()
+            if not self.up:
+                self.stats.counter("tx_dropped_down").increment()
+                continue
             span = None
             if self.obs.enabled and frame.trace is not None:
                 # The nic.tx span covers queue-head to on-the-wire, so its
@@ -88,6 +94,9 @@ class NIC:
         self._rx_callback = callback
 
     def _on_receive(self, frame: EthernetFrame) -> None:
+        if not self.up:
+            self.stats.counter("rx_dropped_down").increment()
+            return
         self.stats.counter("rx_frames").increment()
         self.stats.counter("rx_bytes").increment(frame.payload_bytes)
         if self._rx_callback is not None:

@@ -24,7 +24,7 @@ The implementation is built for large clusters:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 from ..errors import NetworkError
 from ..sim.core import Event, Simulator
@@ -65,6 +65,8 @@ class SwitchedLAN:
         #: per-port next-free times (the whole queueing model)
         self._up_free: Dict[int, float] = {}
         self._down_free: Dict[int, float] = {}
+        #: station -> partition group id; None = fully connected
+        self._partition: Optional[Dict[int, int]] = None
         self.stats = StatSet(name)
 
     def attach(self, station_id: int, deliver: Callable[[EthernetFrame], None]) -> None:
@@ -80,6 +82,42 @@ class SwitchedLAN:
     @property
     def station_ids(self) -> List[int]:
         return sorted(self._stations)
+
+    # -- partitions (resilience fault injection) --------------------------
+    def partition(self, groups: Iterable[Iterable[int]]) -> None:
+        """Split the LAN into isolated segments.
+
+        ``groups`` lists the station ids of each segment; stations not
+        mentioned form one implicit extra segment.  Frames between segments
+        are dropped — both frames sent while partitioned *and* frames still
+        queued in the switch when the partition appears (so nothing is
+        delivered late, out of order, after a heal).
+        """
+        mapping: Dict[int, int] = {}
+        for gid, members in enumerate(groups):
+            for sid in members:
+                if sid not in self._stations:
+                    raise NetworkError(f"station {sid} is not attached to {self.name}")
+                if sid in mapping:
+                    raise NetworkError(f"station {sid} appears in two partition groups")
+                mapping[sid] = gid
+        rest = (max(mapping.values()) + 1) if mapping else 0
+        for sid in self._stations:
+            mapping.setdefault(sid, rest)
+        self._partition = mapping
+        self.stats.counter("partitions").increment()
+
+    def heal(self) -> None:
+        """Reconnect every segment (no-op if not partitioned)."""
+        if self._partition is not None:
+            self._partition = None
+            self.stats.counter("heals").increment()
+
+    def reachable(self, a: int, b: int) -> bool:
+        """Are two stations currently in the same segment?"""
+        if self._partition is None:
+            return True
+        return self._partition.get(a) == self._partition.get(b)
 
     def transmission_time(self, frame: EthernetFrame) -> float:
         return bits(frame.wire_bytes) / self.rate_bps
@@ -116,6 +154,12 @@ class SwitchedLAN:
             else [frame.dst]
         )
         for target in targets:
+            if not self.reachable(frame.src, target):
+                # Sent into a partition: dropped at the ingress port.  The
+                # delivery timer is never armed, so the frame cannot pop out
+                # after a heal.
+                self.stats.counter("partition_drops").increment()
+                continue
             dn_start = max(ready, self._down_free[target])
             self._down_free[target] = dn_start + tx
             timer = sim.timeout(dn_start + tx + self.prop_delay - sim.now)
@@ -123,6 +167,10 @@ class SwitchedLAN:
         return "ok"
 
     def _deliver(self, frame: EthernetFrame, target: int) -> None:
+        if not self.reachable(frame.src, target):
+            # Partition appeared while the frame was queued in the switch.
+            self.stats.counter("partition_drops").increment()
+            return
         self.stats.counter("frames_delivered").increment()
         self._stations[target](frame)
 

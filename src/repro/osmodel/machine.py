@@ -46,6 +46,8 @@ class Machine:
             name=f"{node.hostname}.cpu",
         )
         self.processes: Dict[int, UnixProcess] = {}
+        #: powered flag (resilience: halt/restart fault injection)
+        self.up = True
         self.stats = StatSet(node.hostname)
 
     # -- identity -----------------------------------------------------------
@@ -101,6 +103,29 @@ class Machine:
     @property
     def live_processes(self) -> List[UnixProcess]:
         return [p for p in self.processes.values() if not p.exited]
+
+    # -- power (resilience fault injection) -----------------------------------
+    def halt(self) -> None:
+        """Power the machine off: the NIC drops all traffic from now on.
+
+        The resilience manager is responsible for killing the machine's
+        simulated processes (it knows which kernels live here and how to
+        tear their guests down consistently); ``halt`` models the hardware
+        side only.  Idempotent.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.nic.up = False
+        self.stats.counter("halts").increment()
+
+    def restart(self) -> None:
+        """Power the machine back on (the NIC forwards again).  Idempotent."""
+        if self.up:
+            return
+        self.up = True
+        self.nic.up = True
+        self.stats.counter("restarts").increment()
 
     # -- sockets ------------------------------------------------------------
     def open_socket(self, proc: UnixProcess, port: int) -> Socket:

@@ -82,11 +82,32 @@ class Socket:
 
     # -- receive ------------------------------------------------------------
     def recv(
-        self, filter: Optional[Callable[[Packet], bool]] = None
-    ) -> Generator[Event, Any, Packet]:
-        """Block for the next (matching) packet, then pay the receive path."""
+        self,
+        filter: Optional[Callable[[Packet], bool]] = None,
+        abort: Optional[Event] = None,
+    ) -> Generator[Event, Any, Optional[Packet]]:
+        """Block for the next (matching) packet, then pay the receive path.
+
+        ``abort`` (resilience layer) is an event that cancels the wait: if
+        it triggers before a packet matches, the pending mailbox claim is
+        withdrawn — it must never steal a later packet from another reader —
+        and ``None`` is returned without charging receive costs.
+        """
         self._check_open()
-        packet = yield self.mailbox.get(filter)
+        if abort is None:
+            packet = yield self.mailbox.get(filter)
+        else:
+            if abort.triggered:
+                return None
+            getter = self.mailbox.get(filter)
+            outcome = yield self.proc.sim.any_of([getter, abort])
+            if getter not in outcome:
+                try:
+                    self.mailbox.queue._getters.remove(getter)
+                except ValueError:  # pragma: no cover - raced with a match
+                    pass
+                return None
+            packet = outcome[getter]
         span = None
         if self.obs.enabled and packet.trace is not None:
             now = self.proc.sim.now

@@ -1,0 +1,49 @@
+"""Fault injection, failure detection, and checkpoint/restart recovery.
+
+The paper's cluster is a lab machine; real clusters lose nodes.  This
+subsystem makes the simulated DSE cluster survive that, end to end:
+
+* **Fault campaigns** (:mod:`repro.resilience.campaign`) — deterministic,
+  seed-driven schedules of kernel crashes and network partitions, injected
+  for real (the victim's kernel process tree is killed and its NIC goes
+  down; nothing is faked at the application layer).
+* **Failure detection** (:mod:`repro.resilience.manager`) — heartbeats
+  piggybacked on existing DSE traffic with an explicit fallback, a
+  monitor on kernel 0 driving an ALIVE → SUSPECT → DEAD membership view
+  that is broadcast to every kernel.
+* **Recovery** — coordinated per-sweep checkpoints of guest state plus
+  owned global-memory slices (:mod:`repro.resilience.checkpoint`),
+  two-phase rollback, lease-based lock revocation, barrier reconfiguration
+  to the surviving membership, and task-farm reassignment with
+  deterministic retry/backoff.
+
+Everything hangs off ``ClusterConfig(resilience=ResilienceConfig(...))``;
+with the default ``resilience=None`` every hook is a cached ``is not
+None`` test and runs are bit-identical in simulated time to builds without
+the subsystem.  See ``docs/resilience.md`` for the design and its
+guarantees (and non-guarantees: split-brain, monitor death).
+"""
+
+from .campaign import CrashPlan, FaultCampaign, PartitionPlan, random_crashes
+from .checkpoint import CheckpointStore
+from .config import ResilienceConfig
+from .manager import ResilienceManager
+from .membership import ALIVE, DEAD, SUSPECT, Membership
+from .runner import ResilientRunResult, run_resilient, run_resilient_master
+
+__all__ = [
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "CheckpointStore",
+    "CrashPlan",
+    "FaultCampaign",
+    "Membership",
+    "PartitionPlan",
+    "ResilienceConfig",
+    "ResilienceManager",
+    "ResilientRunResult",
+    "random_crashes",
+    "run_resilient",
+    "run_resilient_master",
+]

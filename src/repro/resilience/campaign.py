@@ -1,0 +1,145 @@
+"""Fault campaigns: scripted, deterministic crash/partition schedules.
+
+A :class:`FaultCampaign` is a declarative plan of faults to inject into a
+run — kernel crashes (:class:`CrashPlan`) and network partitions
+(:class:`PartitionPlan`) at fixed simulated times.  ``arm(cluster)`` turns
+each plan into a simulation process, so a campaign attached to the same
+config and seed replays identically, event for event.
+
+Random campaigns (:func:`random_crashes`) draw victims and times from a
+dedicated :class:`repro.sim.rng.RandomStreams` substream of a caller-given
+seed — the cluster's own streams are never touched, so enabling a campaign
+does not perturb application or network randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Sequence, Tuple
+
+from ..errors import ResilienceError
+from ..sim.core import Event
+from ..sim.rng import RandomStreams
+
+__all__ = ["CrashPlan", "PartitionPlan", "FaultCampaign", "random_crashes"]
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Crash one kernel at a fixed simulated time.
+
+    ``restart_after`` schedules a reboot that many seconds after the crash
+    (``None`` = permanent death — fine for task farms, unrecoverable for
+    SPMD; see docs/resilience.md).  ``halt_machine`` powers the victim's
+    machine off too (only meaningful when it hosts no other kernel)."""
+
+    kernel_id: int
+    at: float
+    restart_after: Optional[float] = 0.05
+    halt_machine: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kernel_id == 0:
+            raise ResilienceError("kernel 0 is the monitor/coordinator; not crashable")
+        if self.at < 0:
+            raise ResilienceError(f"crash time must be >= 0, got {self.at}")
+        if self.restart_after is not None and self.restart_after < 0:
+            raise ResilienceError(
+                f"restart_after must be >= 0 or None, got {self.restart_after}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Split the fabric into station groups at ``at``; heal ``heal_after``
+    seconds later (``None`` = never heal)."""
+
+    groups: Tuple[Tuple[int, ...], ...]
+    at: float
+    heal_after: Optional[float] = 0.02
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ResilienceError(f"partition time must be >= 0, got {self.at}")
+        if self.heal_after is not None and self.heal_after <= 0:
+            raise ResilienceError(
+                f"heal_after must be > 0 or None, got {self.heal_after}"
+            )
+
+
+class FaultCampaign:
+    """A set of fault plans, armed onto one cluster."""
+
+    def __init__(
+        self,
+        crashes: Sequence[CrashPlan] = (),
+        partitions: Sequence[PartitionPlan] = (),
+    ):
+        self.crashes = tuple(crashes)
+        self.partitions = tuple(partitions)
+
+    def arm(self, cluster) -> None:
+        """Schedule every plan as a simulation process on ``cluster``."""
+        res = getattr(cluster, "resilience", None)
+        if res is None:
+            raise ResilienceError(
+                "fault campaigns need ClusterConfig(resilience=ResilienceConfig(...))"
+            )
+        for plan in self.crashes:
+            if not (0 < plan.kernel_id < cluster.size):
+                raise ResilienceError(f"crash victim {plan.kernel_id} out of range")
+            cluster.sim.process(
+                self._crash_driver(res, plan), name=f"campaign-crash:k{plan.kernel_id}"
+            )
+        for plan in self.partitions:
+            cluster.sim.process(
+                self._partition_driver(cluster, res, plan), name="campaign-partition"
+            )
+
+    @staticmethod
+    def _crash_driver(res, plan: CrashPlan) -> Generator[Event, Any, None]:
+        if plan.at > 0:
+            yield res.sim.timeout(plan.at)
+        res.crash_kernel(
+            plan.kernel_id,
+            restart_after=plan.restart_after,
+            halt_machine=plan.halt_machine,
+        )
+
+    @staticmethod
+    def _partition_driver(cluster, res, plan: PartitionPlan) -> Generator[Event, Any, None]:
+        fabric = cluster.network.fabric
+        if plan.at > 0:
+            yield cluster.sim.timeout(plan.at)
+        fabric.partition(plan.groups)
+        res.stats.counter("partitions").increment()
+        if plan.heal_after is None:
+            return
+        yield cluster.sim.timeout(plan.heal_after)
+        fabric.heal()
+        res.stats.counter("heals").increment()
+
+
+def random_crashes(
+    seed: int,
+    n_crashes: int,
+    n_kernels: int,
+    t_lo: float,
+    t_hi: float,
+    restart_after: Optional[float] = 0.05,
+) -> List[CrashPlan]:
+    """Deterministic random crash schedule (victims in 1..n_kernels-1).
+
+    Uses its own ``RandomStreams(seed)`` substream — reusing the cluster
+    seed here still cannot perturb the cluster's own random streams."""
+    if n_kernels < 2:
+        raise ResilienceError("need at least 2 kernels to have a crashable victim")
+    if not (0 <= t_lo < t_hi):
+        raise ResilienceError(f"need 0 <= t_lo < t_hi, got [{t_lo}, {t_hi})")
+    rng = RandomStreams(seed).stream("resilience:campaign")
+    plans = []
+    for _ in range(n_crashes):
+        victim = 1 + rng.randrange(n_kernels - 1)
+        at = t_lo + rng.random() * (t_hi - t_lo)
+        plans.append(CrashPlan(kernel_id=victim, at=at, restart_after=restart_after))
+    return sorted(plans, key=lambda p: p.at)

@@ -1,0 +1,75 @@
+"""Configuration for the resilience subsystem.
+
+Kept free of imports from :mod:`repro.dse` so that ``dse.config`` can
+import it without a cycle: a :class:`ResilienceConfig` instance is the
+value of ``ClusterConfig.resilience`` (``None`` disables the subsystem
+entirely — the disabled path costs one ``is not None`` guard per hook
+site and is bit-identical in simulated time).
+
+All durations are simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tuning knobs for failure detection, leases, and recovery."""
+
+    #: heartbeat period: a kernel sends an explicit RES_HEARTBEAT to the
+    #: monitor only if nothing else reached the monitor within a period
+    #: (piggybacking — busy kernels never send explicit heartbeats)
+    heartbeat_period: float = 0.005
+    #: silence beyond this marks a kernel SUSPECT
+    heartbeat_timeout: float = 0.02
+    #: extra silence beyond the timeout before SUSPECT hardens into DEAD;
+    #: any message from a SUSPECT kernel within the grace clears suspicion
+    #: (the supported partition-heal-within-grace story)
+    suspect_grace: float = 0.01
+    #: a dead holder's locks are revoked this long after its death declaration
+    lock_lease: float = 0.005
+    #: stable-storage bandwidth charged for checkpoint writes (bytes/second)
+    checkpoint_bps: float = 40e6
+    #: per-task retry cap for ``taskfarm`` work reassignment
+    max_task_retries: int = 8
+    #: base of the deterministic linear retry backoff (seconds * attempt)
+    retry_backoff: float = 0.002
+    #: how many full detection+rollback cycles the supervisor tolerates
+    max_recovery_attempts: int = 4
+    #: how long the supervisor waits for a crashed kernel to rejoin before
+    #: giving up on the run (simulated seconds)
+    rejoin_timeout: float = 10.0
+    #: reconfigure pending barriers to the surviving membership (SPMD guests
+    #: that checkpoint/rollback do not need this; farm-style guests do)
+    reconfigure_barriers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_period <= 0:
+            raise ConfigurationError(f"heartbeat_period must be > 0, got {self.heartbeat_period}")
+        if self.heartbeat_timeout <= self.heartbeat_period:
+            raise ConfigurationError(
+                "heartbeat_timeout must exceed heartbeat_period "
+                f"({self.heartbeat_timeout} <= {self.heartbeat_period})"
+            )
+        if self.suspect_grace < 0:
+            raise ConfigurationError(f"suspect_grace must be >= 0, got {self.suspect_grace}")
+        if self.lock_lease < 0:
+            raise ConfigurationError(f"lock_lease must be >= 0, got {self.lock_lease}")
+        if self.checkpoint_bps <= 0:
+            raise ConfigurationError(f"checkpoint_bps must be > 0, got {self.checkpoint_bps}")
+        if self.max_task_retries < 0:
+            raise ConfigurationError(f"max_task_retries must be >= 0, got {self.max_task_retries}")
+        if self.retry_backoff < 0:
+            raise ConfigurationError(f"retry_backoff must be >= 0, got {self.retry_backoff}")
+        if self.max_recovery_attempts < 1:
+            raise ConfigurationError(
+                f"max_recovery_attempts must be >= 1, got {self.max_recovery_attempts}"
+            )
+        if self.rejoin_timeout <= 0:
+            raise ConfigurationError(f"rejoin_timeout must be > 0, got {self.rejoin_timeout}")

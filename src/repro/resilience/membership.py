@@ -1,0 +1,102 @@
+"""Cluster membership view maintained by the failure detector.
+
+Every kernel holds a :class:`Membership` instance; the monitor (kernel 0's
+heartbeat watcher) drives the ALIVE → SUSPECT → DEAD transitions and
+broadcasts death declarations, after which each kernel's local view is
+updated by its RES_DEAD handler.  A kernel returns from DEAD only through
+an explicit RES_JOIN with a higher incarnation number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["ALIVE", "SUSPECT", "DEAD", "Membership"]
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+
+class Membership:
+    """Per-kernel view of which kernels are believed alive.
+
+    ``last_heard`` is only maintained on the monitor kernel (it is fed by
+    the piggyback hook on incoming exchange traffic); the state map is
+    maintained everywhere.
+    """
+
+    def __init__(self, n_kernels: int):
+        self.n_kernels = n_kernels
+        self.state: Dict[int, str] = {k: ALIVE for k in range(n_kernels)}
+        #: monitor-side: simulated time each kernel was last heard from
+        self.last_heard: Dict[int, float] = {k: 0.0 for k in range(n_kernels)}
+        #: highest incarnation number seen per kernel (0 = initial boot)
+        self.incarnation: Dict[int, int] = {k: 0 for k in range(n_kernels)}
+        #: monitor-side: time each current suspicion started (absent = none)
+        self.suspect_since: Dict[int, float] = {}
+
+    # -- queries -------------------------------------------------------
+    def usable(self, kernel_id: int) -> bool:
+        """May RPCs be aimed at this kernel?  (SUSPECT still counts.)"""
+        return self.state.get(kernel_id, DEAD) != DEAD
+
+    def is_alive(self, kernel_id: int) -> bool:
+        return self.state.get(kernel_id, DEAD) == ALIVE
+
+    def live_kernels(self) -> List[int]:
+        """Kernel ids not currently declared dead, ascending."""
+        return [k for k in range(self.n_kernels) if self.state[k] != DEAD]
+
+    def dead_kernels(self) -> List[int]:
+        return [k for k in range(self.n_kernels) if self.state[k] == DEAD]
+
+    # -- transitions (driven by the monitor / RES_* handlers) ----------
+    def heard_from(self, kernel_id: int, now: float) -> bool:
+        """Record traffic from ``kernel_id``; True if a suspicion cleared."""
+        self.last_heard[kernel_id] = now
+        if self.state.get(kernel_id) == SUSPECT:
+            self.state[kernel_id] = ALIVE
+            self.suspect_since.pop(kernel_id, None)
+            return True
+        return False
+
+    def suspect(self, kernel_id: int, now: float) -> None:
+        if self.state.get(kernel_id) == ALIVE:
+            self.state[kernel_id] = SUSPECT
+            self.suspect_since[kernel_id] = now
+
+    def declare_dead(self, kernel_id: int, incarnation: int = None) -> bool:
+        """Apply a death declaration; False if duplicate or stale.
+
+        ``incarnation`` tags *which* incarnation died: a declaration older
+        than a rejoin this view already processed (death and join broadcasts
+        race on the network) must not clobber the newer membership."""
+        if self.state.get(kernel_id) == DEAD:
+            return False
+        if incarnation is not None and incarnation < self.incarnation.get(kernel_id, 0):
+            return False  # stale: a newer incarnation already rejoined
+        self.state[kernel_id] = DEAD
+        self.suspect_since.pop(kernel_id, None)
+        return True
+
+    def rejoin(self, kernel_id: int, incarnation: int, now: float) -> bool:
+        """Process an RES_JOIN announcement; False if stale.
+
+        A DEAD kernel only returns with a *strictly higher* incarnation — a
+        duplicate join of an incarnation already declared dead must not
+        resurrect it."""
+        known = self.incarnation.get(kernel_id, 0)
+        if incarnation < known:
+            return False
+        if incarnation == known and self.state.get(kernel_id) == DEAD:
+            return False
+        self.incarnation[kernel_id] = incarnation
+        self.state[kernel_id] = ALIVE
+        self.suspect_since.pop(kernel_id, None)
+        self.last_heard[kernel_id] = now
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"k{k}:{s}" for k, s in sorted(self.state.items()))
+        return f"<Membership {parts}>"

@@ -1,0 +1,217 @@
+"""Resilient runners: SPMD with checkpoint/rollback, master with retry.
+
+``run_resilient`` is the crash-tolerant counterpart of
+:func:`repro.dse.runtime.run_parallel`.  The plain runner executes rank 0's
+worker inline in the driver coroutine, which cannot survive a rollback; here
+a *supervisor* driver on kernel 0 invokes **all** ranks as DSE processes,
+then waits on either all-done or the failure detector:
+
+1. Every rank runs ``worker(api, ck, *args)`` where ``ck`` is ``None`` on
+   the first attempt and the rank's committed checkpoint state after a
+   rollback (workers call ``api.checkpoint(state)`` at barriers to create
+   restore points).
+2. On a death declaration the supervisor waits for the crashed kernel to
+   rejoin (its global-memory slice is structurally tied to its kernel id —
+   permanent deaths are unrecoverable for SPMD; see docs/resilience.md),
+   then drives the two-phase rollback RPC and re-invokes every rank from
+   the committed checkpoint.
+3. After ``max_recovery_attempts`` failed cycles the run raises
+   :class:`repro.errors.ResilienceError`.
+
+``run_resilient_master`` is the master/worker counterpart of ``run_master``
+for task-farm workloads: the master runs on kernel 0 (not crashable), and
+``taskfarm.farm_dynamic`` already reassigns lost tasks to surviving
+kernels — no rollback is needed, so permanent (no-restart) crashes are fine.
+
+Both accept a :class:`repro.resilience.campaign.FaultCampaign` and arm it
+on the freshly built cluster before simulation starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..dse.api import ParallelAPI
+from ..dse.cluster import Cluster
+from ..dse.config import ClusterConfig
+from ..dse.procman import TaskLost
+from ..dse.runtime import RunResult
+from ..errors import ConfigurationError, DSEError, KernelUnavailableError, ResilienceError
+from ..sim.core import Event
+
+__all__ = ["ResilientRunResult", "run_resilient", "run_resilient_master"]
+
+
+@dataclass
+class ResilientRunResult(RunResult):
+    """A :class:`RunResult` plus recovery accounting."""
+
+    #: completed detection+rollback cycles before success
+    recoveries: int = 0
+    #: death declarations as (simulated time, kernel id)
+    failures: tuple = ()
+    #: simulated seconds from first dispatch to final completion, minus a
+    #: failure-free run's elapsed time = the resilience experiments' cost
+    #: curves; here just the raw elapsed (same field as RunResult.elapsed)
+
+
+def _resilient_entry(api: ParallelAPI, worker, ck, args) -> Generator[Event, Any, Any]:
+    """DSE-process wrapper giving workers the ``(api, ck, *args)`` shape."""
+    value = yield from worker(api, ck, *args)
+    return value
+
+
+def _finish(cluster: Cluster, config: ClusterConfig, outcome: Dict[str, Any]) -> None:
+    cluster.sim.run_all()
+    sanitizer = cluster.sanitizer
+    if sanitizer.enabled:
+        sanitizer.finalize(cluster.sim.now)
+    if "returns" not in outcome:
+        detail = "resilient run did not complete (deadlock or early drain)"
+        if "error" in outcome:
+            raise outcome["error"]
+        if sanitizer.enabled and not sanitizer.report.clean:
+            detail = f"{detail}\n{sanitizer.report.format()}"
+        error = DSEError(detail)
+        error.cluster = cluster
+        raise error
+
+
+def run_resilient(
+    config: ClusterConfig,
+    worker: Callable[..., Generator],
+    args: tuple = (),
+    campaign: Any = None,
+) -> ResilientRunResult:
+    """Crash-tolerant SPMD: ``worker(api, ck, *args)`` on every kernel."""
+    if config.resilience is None:
+        raise ConfigurationError("run_resilient needs ClusterConfig(resilience=...)")
+    cluster = Cluster(config)
+    res = cluster.resilience
+    if campaign is not None:
+        campaign.arm(cluster)
+    outcome: Dict[str, Any] = {}
+
+    def watch_lost(handle, lost_any: Event) -> Generator[Event, Any, None]:
+        # Wake the supervisor the moment any rank's completion comes back as
+        # TaskLost: its SPMD wave is broken (peers will hang at barriers),
+        # and no *new* kernel death may follow to wake us otherwise.
+        value = yield handle.done_event
+        if isinstance(value, TaskLost) and not lost_any.triggered:
+            lost_any.succeed(value)
+
+    def supervisor() -> Generator[Event, Any, None]:
+        kernel0 = cluster.kernel(0)
+        procman = kernel0.procman
+        sim = cluster.sim
+        start = sim.now
+        recoveries = 0
+        while True:
+            failure = res.arm_failure_event()
+            lost_any = sim.event(name="res-task-lost")
+            handles = []
+            try:
+                for rank in range(cluster.size):
+                    ck = res.checkpoint_state(rank)
+                    handle = yield from procman.invoke(
+                        cluster.placement(rank), _resilient_entry, rank,
+                        (worker, ck, args),
+                    )
+                    handles.append(handle)
+                    sim.process(
+                        watch_lost(handle, lost_any), name=f"res-watch:r{rank}"
+                    )
+                alldone = sim.all_of([h.done_event for h in handles])
+                yield sim.any_of([alldone, failure, lost_any])
+                if alldone.triggered and not failure.triggered:
+                    values = {h.rank: h.done_event.value for h in handles}
+                    if not any(isinstance(v, TaskLost) for v in values.values()):
+                        outcome["returns"] = values
+                        break
+            except KernelUnavailableError:
+                pass  # a victim died mid-(re)invocation; recover below
+            # -- recovery cycle ------------------------------------------------
+            # Reached on a death declaration, a TaskLost completion, or a
+            # refused re-invocation.  await_rejoin returns immediately when
+            # nothing is dead (e.g. a task lost to a transiently stale view).
+            recoveries += 1
+            if recoveries > res.config.max_recovery_attempts:
+                outcome["error"] = ResilienceError(
+                    f"giving up after {res.config.max_recovery_attempts} "
+                    "recovery attempts"
+                )
+                yield from cluster.shutdown_from(0)
+                return
+            try:
+                yield from res.await_rejoin(kernel0)
+                yield from res.rollback(kernel0)
+            except KernelUnavailableError:
+                # Another kernel died *during* recovery: loop and retry the
+                # whole cycle against the new membership.
+                continue
+            except ResilienceError as exc:
+                outcome["error"] = exc
+                yield from cluster.shutdown_from(0)
+                return
+            for rank in range(cluster.size):
+                procman.forget(rank)
+        outcome["elapsed"] = sim.now - start
+        outcome["recoveries"] = recoveries
+        yield from cluster.shutdown_from(0)
+
+    cluster.sim.process(supervisor(), name="dse-supervisor")
+    _finish(cluster, config, outcome)
+    return ResilientRunResult(
+        elapsed=outcome["elapsed"],
+        returns=outcome["returns"],
+        stats=cluster.stats_snapshot(),
+        sim_events=cluster.sim.events_processed,
+        config=config,
+        cluster=cluster,
+        recoveries=outcome.get("recoveries", 0),
+        failures=tuple(res.failures),
+    )
+
+
+def run_resilient_master(
+    config: ClusterConfig,
+    master: Callable[..., Generator],
+    args: tuple = (),
+    campaign: Any = None,
+) -> ResilientRunResult:
+    """Crash-tolerant master/worker: ``master(api, *args)`` on kernel 0.
+
+    The master typically drives ``taskfarm.farm_dynamic``, whose retry
+    logic (TaskLost → backoff → re-dispatch on live kernels) provides the
+    recovery; no checkpointing or rollback is involved."""
+    if config.resilience is None:
+        raise ConfigurationError(
+            "run_resilient_master needs ClusterConfig(resilience=...)"
+        )
+    cluster = Cluster(config)
+    res = cluster.resilience
+    if campaign is not None:
+        campaign.arm(cluster)
+    outcome: Dict[str, Any] = {}
+
+    def driver() -> Generator[Event, Any, None]:
+        api = ParallelAPI(cluster.kernel(0), 0)
+        start = api.now
+        value = yield from master(api, *args)
+        outcome["elapsed"] = api.now - start
+        outcome["returns"] = {0: value}
+        yield from cluster.shutdown_from(0)
+
+    cluster.sim.process(driver(), name="dse-master")
+    _finish(cluster, config, outcome)
+    return ResilientRunResult(
+        elapsed=outcome["elapsed"],
+        returns=outcome["returns"],
+        stats=cluster.stats_snapshot(),
+        sim_events=cluster.sim.events_processed,
+        config=config,
+        cluster=cluster,
+        recoveries=0,
+        failures=tuple(res.failures),
+    )

@@ -1,0 +1,136 @@
+"""Crash-tolerant versions of the paper workloads.
+
+Two reference workloads exercise both recovery paths end to end:
+
+* :func:`resilient_gauss_seidel` — the §4.1 SPMD solver restructured for
+  ``run_resilient``: the worker takes a checkpoint (``{"sweep": s}`` plus
+  its global-memory slice) after every sweep barrier, and on re-invocation
+  after a rollback resumes from the committed sweep instead of restarting
+  from zero.  Its numerical result must match the failure-free run exactly.
+* :func:`resilient_tour_master` — the §4.4 Knight's Tour search as a
+  ``farm_dynamic`` task farm under ``run_resilient_master``: crashed tasks
+  are reassigned to surviving kernels, so it tolerates even *permanent*
+  kernel deaths and still counts every tour exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+import numpy as np
+
+from ..apps.gauss_seidel import (
+    DEFAULT_SWEEPS,
+    _block_update,
+    make_system,
+    row_partition,
+    sweep_work,
+)
+from ..apps.knights_tour import (
+    DEFAULT_BOARD,
+    DEFAULT_START,
+    NODE_WORK,
+    TourJob,
+    knights_tour_workload,
+)
+from ..dse.api import ParallelAPI
+from ..dse.taskfarm import farm_dynamic
+from ..sim.core import Event
+
+__all__ = ["resilient_gauss_seidel", "resilient_tour_master", "tour_task"]
+
+
+def resilient_gauss_seidel(
+    api: ParallelAPI,
+    ck: Optional[Dict[str, Any]],
+    n: int,
+    sweeps: int = DEFAULT_SWEEPS,
+    seed: int = 7,
+    verify: bool = True,
+) -> Generator[Event, Any, Dict[str, Any]]:
+    """Block Gauss-Seidel with per-sweep checkpoints (for ``run_resilient``).
+
+    ``ck`` is ``None`` on the first invocation; after a rollback it is the
+    committed ``{"sweep": s}`` state and global memory already holds the
+    restored x blocks, so the worker skips initialisation and resumes the
+    sweep loop at ``s``.
+    """
+    a, b = make_system(n, seed)
+    size, rank = api.size, api.rank
+    bounds = row_partition(n, size)
+    lo, hi = bounds[rank]
+
+    def block_addr(r: int) -> int:
+        return api.home_base(r)
+
+    if ck is None:
+        yield from api.gm_write(block_addr(rank), np.zeros(max(hi - lo, 1)))
+        yield from api.barrier("gs:init")
+        yield from api.checkpoint({"sweep": 0})
+        start_sweep = 0
+    else:
+        start_sweep = int(ck["sweep"])
+    t0 = api.now
+
+    x = np.zeros(n)
+    for sweep in range(start_sweep, sweeps):
+        for r in range(size):
+            rlo, rhi = bounds[r]
+            if rhi > rlo:
+                data = yield from api.gm_read(block_addr(r), rhi - rlo)
+                x[rlo:rhi] = data
+        yield from api.barrier(f"gs:gather{sweep}")
+        if hi > lo:
+            new_block = _block_update(a, b, x, lo, hi)
+            yield from api.compute(sweep_work(hi - lo, n))
+            yield from api.gm_write(block_addr(rank), new_block)
+        yield from api.barrier(f"gs:sweep{sweep}")
+        # The restore point: global memory now holds the post-sweep x cut.
+        yield from api.checkpoint({"sweep": sweep + 1})
+    t1 = api.now
+
+    result: Dict[str, Any] = {"rows": (lo, hi), "t0": t0, "t1": t1}
+    if verify:
+        for r in range(size):
+            rlo, rhi = bounds[r]
+            if rhi > rlo:
+                data = yield from api.gm_read(block_addr(r), rhi - rlo)
+                x[rlo:rhi] = data
+        result["x"] = x
+        result["residual"] = float(np.linalg.norm(a @ x - b))
+    return result
+
+
+def tour_task(api: ParallelAPI, job: TourJob) -> Generator[Event, Any, int]:
+    """One farmed Knight's Tour subtree search: charge its measured node
+    count, return its tour count."""
+    yield from api.compute(NODE_WORK.scaled(job.nodes))
+    return job.tours
+
+
+def resilient_tour_master(
+    api: ParallelAPI,
+    n_jobs: int,
+    board: int = DEFAULT_BOARD,
+    start: int = DEFAULT_START,
+    max_in_flight: Optional[int] = None,
+) -> Generator[Event, Any, Dict[str, Any]]:
+    """Knight's Tour as a crash-tolerant farm (for ``run_resilient_master``).
+
+    Splits the search into prefix jobs and farms them with
+    :func:`repro.dse.taskfarm.farm_dynamic`; lost tasks are retried on
+    surviving kernels, so the exact sequential tour count is recovered even
+    when victims never restart.
+    """
+    workload = knights_tour_workload(n_jobs, board, start)
+    farmed = yield from farm_dynamic(
+        api, tour_task, workload.jobs, max_in_flight=max_in_flight
+    )
+    return {
+        "tours": int(sum(farmed)),
+        "expected_tours": workload.total_tours,
+        "n_jobs": len(workload.jobs),
+        "attempts": list(farmed.attempts),
+        "retries": farmed.retries,
+        "wasted_seconds": farmed.wasted_seconds,
+    }

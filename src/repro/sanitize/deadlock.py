@@ -15,6 +15,11 @@ into one cluster-global wait-for view:
   when the simulation runs dry) reports every barrier still holding
   arrivals and every lock request still queued: the processes a hung run
   is actually stuck on.
+
+The resilience subsystem (:mod:`repro.resilience`) reports injected kernel
+crashes through :meth:`DeadlockDetector.on_crash`, so a run hung *because a
+process died* is labelled ``crashed`` at drain time rather than mistaken
+for a lost wakeup.
 """
 
 from __future__ import annotations
@@ -53,6 +58,8 @@ class DeadlockDetector:
         self._barriers: Dict[str, _BarrierWait] = {}
         #: cycles already reported (as frozensets of edges)
         self._seen_cycles: Set[frozenset] = set()
+        #: accessor -> crash time (reported by the resilience subsystem)
+        self._crashed: Dict[int, float] = {}
 
     # -- lock hooks (home-kernel side, exact) --------------------------------
     def on_lock_granted(self, accessor: int, name: str) -> None:
@@ -131,6 +138,18 @@ class DeadlockDetector:
         )
         self.stats.counter("barrier_faults").increment()
 
+    # -- crash hook (resilience subsystem) ------------------------------------
+    def on_crash(self, accessors: List[int], now: float) -> None:
+        """The resilience layer tore these accessors down as a crash.
+
+        Their queued lock requests are withdrawn (a dead waiter is not a
+        lost wakeup) and any barrier they leave incomplete at drain time is
+        labelled ``crashed`` instead of ``stuck``."""
+        for accessor in accessors:
+            self._crashed[accessor] = now
+            self._waiting.pop(accessor, None)
+        self.stats.counter("crashed_accessors").increment(len(accessors))
+
     # -- drain analysis -------------------------------------------------------
     def finalize(self, now: float) -> None:
         """Report everything still waiting when the simulation ran dry."""
@@ -139,13 +158,26 @@ class DeadlockDetector:
             state = self._barriers[name]
             if state.flagged or not state.arrived:
                 continue  # already reported online / nothing pending
-            self._barrier_fault(
-                "stuck", name, state, now,
-                detail=(
-                    f"{state.expected - len(state.arrived)} participant(s) "
-                    "never arrived (lost wakeup or early exit)"
-                ),
-            )
+            missing = state.expected - len(state.arrived)
+            if self._crashed:
+                dead = ", ".join(
+                    f"proc {a} at t={t:.6f}s" for a, t in sorted(self._crashed.items())
+                )
+                self._barrier_fault(
+                    "crashed", name, state, now,
+                    detail=(
+                        f"{missing} participant(s) never arrived after "
+                        f"crash(es): {dead}"
+                    ),
+                )
+            else:
+                self._barrier_fault(
+                    "stuck", name, state, now,
+                    detail=(
+                        f"{missing} participant(s) "
+                        "never arrived (lost wakeup or early exit)"
+                    ),
+                )
         for accessor in sorted(self._waiting):
             if accessor in in_cycle:
                 continue  # the cycle finding already covers this waiter

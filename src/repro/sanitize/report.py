@@ -80,7 +80,7 @@ class LockCycleFinding:
 class BarrierFinding:
     """A barrier that cannot (or did not) complete."""
 
-    kind: str  # "mismatch" | "impossible" | "stuck"
+    kind: str  # "mismatch" | "impossible" | "stuck" | "crashed"
     name: str
     expected: int
     arrived: List[int] = field(default_factory=list)

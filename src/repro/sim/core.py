@@ -221,6 +221,30 @@ class Process(Event):
     def is_alive(self) -> bool:
         return not self.triggered
 
+    def kill(self, value: Any = None) -> None:
+        """Terminate the process immediately without raising into it.
+
+        Used by the resilience layer to model a kernel crash: the process
+        simply ceases to exist — it is detached from whatever event it was
+        waiting on, its generator is closed (running ``finally`` blocks),
+        and the process event succeeds quietly with ``value`` so waiters
+        (if any) observe a normal termination.  Killing a finished process
+        is a no-op.
+        """
+        if self.triggered:
+            return
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        self._generator.close()
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, 0.0, PRIORITY_NORMAL)
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time.
 
