@@ -79,6 +79,13 @@ class GlobalMemoryManager:
         #: bump allocator (kernel 0 is the allocation authority)
         self._alloc_next = 0
         self.stats = StatSet(f"gmem:k{kernel.kernel_id}")
+        # Hot-path counters resolved once: every read/write bumps these, and
+        # StatSet.counter is a lazy dict lookup per call.
+        self._c_local_reads = self.stats.counter("local_reads")
+        self._c_words_read = self.stats.counter("words_read")
+        self._c_local_writes = self.stats.counter("local_writes")
+        self._c_remote_writes = self.stats.counter("remote_writes")
+        self._c_words_written = self.stats.counter("words_written")
         #: message batching (large-cluster scaling layer; see module docs)
         self.batching = bool(
             getattr(getattr(kernel.cluster, "config", None), "gmem_batching", False)
@@ -146,6 +153,17 @@ class GlobalMemoryManager:
         lo = addr - self.my_lo
         return self.storage[lo : lo + nwords].copy()
 
+    def _local_view(self, addr: int, nwords: int) -> np.ndarray:
+        """Zero-copy view of the home slice — for consumers that copy.
+
+        Safe **only** when the caller immediately copies the data out
+        (e.g. assignment into a gather buffer): a view kept across simulated
+        time would alias the live home storage and change observed values.
+        Anything placed in a response message must use :meth:`_local_read`.
+        """
+        lo = addr - self.my_lo
+        return self.storage[lo : lo + nwords]
+
     def _local_write(self, addr: int, values: np.ndarray) -> None:
         lo = addr - self.my_lo
         hi = lo + len(values)
@@ -169,13 +187,23 @@ class GlobalMemoryManager:
         yield from self.kernel.unix_process.compute(_GM_CALL_WORK)
         if self.batching and self._wc:
             yield from self._flush_overlapping(addr, nwords, trace=trace)
+        if self.my_lo <= addr and addr + nwords <= self.my_hi and nwords > 0:
+            # Entirely home-local: same events and stats as the general loop
+            # below (one run), but a single copy with no gather buffer.
+            self._c_local_reads.increment()
+            yield from self.kernel.unix_process.compute(Work(mems=nwords))
+            out = self._local_view(addr, nwords).copy()
+            self._c_words_read.increment(nwords)
+            return out
         out = np.empty(nwords, dtype=np.float64)
         offset = 0
         for home, start, count in self.home_runs(addr, nwords):
             if home == self.kernel.kernel_id:
-                self.stats.counter("local_reads").increment()
+                self._c_local_reads.increment()
                 yield from self.kernel.unix_process.compute(Work(mems=count))
-                out[offset : offset + count] = self._local_read(start, count)
+                # Assignment into the gather buffer copies; skip the
+                # intermediate _local_read copy.
+                out[offset : offset + count] = self._local_view(start, count)
             elif self.batching:
                 chunk = yield from self._remote_read_combined(home, start, count, trace)
                 out[offset : offset + count] = chunk
@@ -184,7 +212,7 @@ class GlobalMemoryManager:
                     home, start, count, trace
                 )
             offset += count
-        self.stats.counter("words_read").increment(nwords)
+        self._c_words_read.increment(nwords)
         return out
 
     def _remote_read(
@@ -252,11 +280,11 @@ class GlobalMemoryManager:
         for home, start, count in self.home_runs(addr, nwords):
             chunk = data[offset : offset + count]
             if home == self.kernel.kernel_id:
-                self.stats.counter("local_writes").increment()
+                self._c_local_writes.increment()
                 yield from self.kernel.unix_process.compute(Work(mems=count))
                 self._local_write(start, chunk)
             elif self.batching:
-                self.stats.counter("remote_writes").increment()
+                self._c_remote_writes.increment()
                 self.stats.counter("combined_writes").increment()
                 # Buffer locally (one memory copy); the wire message goes
                 # out at the next flush point.
@@ -265,7 +293,7 @@ class GlobalMemoryManager:
                 if sum(len(d) for _, d in self._wc[home]) > WC_FLUSH_WORDS:
                     yield from self.flush(homes=(home,), trace=trace)
             else:
-                self.stats.counter("remote_writes").increment()
+                self._c_remote_writes.increment()
                 msg = DSEMessage(
                     msg_type=MsgType.GM_WRITE_REQ,
                     src_kernel=self.kernel.kernel_id,
@@ -279,7 +307,7 @@ class GlobalMemoryManager:
                 if rsp.status != "ok":
                     raise GlobalMemoryError(f"remote write failed: {rsp.status}")
             offset += count
-        self.stats.counter("words_written").increment(nwords)
+        self._c_words_written.increment(nwords)
 
     # -- write combining (batching mode) --------------------------------------
     def _buffer_write(self, home: int, start: int, chunk: np.ndarray) -> None:

@@ -107,7 +107,21 @@ def is_response(t: MsgType) -> bool:
     return t in _RESPONSES
 
 
-@dataclass
+#: message types whose word payload is charged on the wire: write/fetch
+#: requests and read responses (frozenset: size_bytes is per-hop hot)
+_WORD_CARRIERS = frozenset(
+    {
+        MsgType.GM_WRITE_REQ,
+        MsgType.GM_WBATCH_REQ,
+        MsgType.GM_READ_RSP,
+        MsgType.GM_FETCH_RSP,
+        MsgType.GM_OWN_RSP,
+        MsgType.GM_WB_REQ,
+    }
+)
+
+
+@dataclass(slots=True)
 class DSEMessage:
     """One kernel-to-kernel message."""
 
@@ -140,19 +154,12 @@ class DSEMessage:
 
     @property
     def size_bytes(self) -> int:
-        data_words = self.nwords if self._carries_words() else 0
+        data_words = self.nwords if self.msg_type in _WORD_CARRIERS else 0
         return HEADER_BYTES + data_words * WORD_BYTES + self.extra_bytes + len(self.name)
 
     def _carries_words(self) -> bool:
         """Word payload rides on write/fetch requests and read responses."""
-        return self.msg_type in (
-            MsgType.GM_WRITE_REQ,
-            MsgType.GM_WBATCH_REQ,
-            MsgType.GM_READ_RSP,
-            MsgType.GM_FETCH_RSP,
-            MsgType.GM_OWN_RSP,
-            MsgType.GM_WB_REQ,
-        )
+        return self.msg_type in _WORD_CARRIERS
 
     def make_response(
         self,

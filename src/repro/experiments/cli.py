@@ -31,6 +31,19 @@ and measures detection + recovery (see :mod:`repro.resilience` and
 
     dse-experiments resilience --mode spmd --crash-at 0.05
     dse-experiments resilience --mode farm --crashes 2
+
+The ``profile-engine`` subcommand runs a workload (or an engine
+micro-bench) under the event-loop profiler and prints where the host CPU
+went: dispatch counts/time per event type, hot callback sites, and the
+callback fan-out histogram (see :mod:`repro.perf` and
+``docs/performance.md``)::
+
+    dse-experiments profile-engine --workload gauss-seidel --processors 6
+    dse-experiments profile-engine --bench ps_churn
+
+Figure regeneration accepts ``--jobs N`` to fan independent figures across
+worker processes and reuses prior runs through the content-addressed
+result cache (``--no-cache`` bypasses it).
 """
 
 from __future__ import annotations
@@ -52,6 +65,13 @@ _TRACE_WORKLOADS = {
     "othello": ("repro.apps.othello", "othello_worker", (3,)),
     "dct2": ("repro.apps.dct2", "dct2_worker", (32, 8, 0.25, 11, False)),
 }
+
+
+def _figure_task(params: dict) -> dict:
+    """Compute one figure as a picklable, cacheable top-level task."""
+    from dataclasses import asdict
+
+    return asdict(FIGURES[params["fig_id"]](fast=params["fast"]))
 
 
 def _trace_main(argv: List[str]) -> int:
@@ -111,11 +131,65 @@ def _trace_main(argv: List[str]) -> int:
     return 0
 
 
+def _profile_engine_main(argv: List[str]) -> int:
+    """Profile the event loop under one workload or engine micro-bench."""
+    import importlib
+
+    from ..perf import BENCHES, EngineProfiler
+
+    parser = argparse.ArgumentParser(
+        prog="dse-experiments profile-engine",
+        description="Profile Simulator.run: event types, hot sites, fan-out.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(_TRACE_WORKLOADS), default=None,
+        help="profile one end-to-end workload (default: gauss-seidel)",
+    )
+    parser.add_argument(
+        "--bench", choices=sorted(BENCHES), default=None,
+        help="profile one canonical engine bench scenario instead",
+    )
+    parser.add_argument("--processors", type=int, default=4)
+    parser.add_argument("--platform", default="sunos")
+    parser.add_argument(
+        "--top", type=int, default=12, help="callback sites to show (default 12)"
+    )
+    args = parser.parse_args(argv)
+    if args.workload and args.bench:
+        parser.error("--workload and --bench are mutually exclusive")
+
+    if args.bench:
+        with EngineProfiler() as profiler:
+            BENCHES[args.bench]()
+        print(f"profile of engine bench {args.bench!r}:\n")
+    else:
+        from ..dse.config import ClusterConfig
+        from ..dse.runtime import run_parallel
+        from ..hardware.platforms import get_platform
+
+        workload = args.workload or "gauss-seidel"
+        module_name, attr, worker_args = _TRACE_WORKLOADS[workload]
+        worker = getattr(importlib.import_module(module_name), attr)
+        config = ClusterConfig(
+            platform=get_platform(args.platform), n_processors=args.processors
+        )
+        with EngineProfiler() as profiler:
+            result = run_parallel(config, worker, args=worker_args)
+        print(
+            f"profile of {workload} p={args.processors} on {args.platform} "
+            f"(elapsed {result.elapsed:.6f}s simulated):\n"
+        )
+    print(profiler.profile.render(top=args.top))
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "profile-engine":
+        return _profile_engine_main(argv[1:])
     if argv and argv[0] == "scale":
         from .scaling import scale_main
 
@@ -147,6 +221,14 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--plot", action="store_true", help="also draw each figure as an ASCII chart"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent figures (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every figure, bypassing the on-disk result cache",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.figures:
@@ -159,10 +241,28 @@ def main(argv: List[str] | None = None) -> int:
         print(f"unknown figure id(s): {unknown}; use --list", file=sys.stderr)
         return 2
 
+    # Compute every requested figure up front — independent simulations, so
+    # they fan across the pool and hit the result cache — then render and
+    # check in the requested order (deterministic merge).
+    from .figures import FigureData
+    from .parallel import ResultCache, run_tasks
+
+    cache = None if args.no_cache else ResultCache()
+    sweep_start = time.perf_counter()
+    raw = run_tasks(
+        _figure_task,
+        [{"fig_id": f, "fast": args.fast} for f in wanted],
+        jobs=args.jobs,
+        cache=cache,
+        namespace="figure",
+    )
+    sweep_wall = time.perf_counter() - sweep_start
+    computed = {f: FigureData(**d) for f, d in zip(wanted, raw)}
+
     failures = 0
     for fig_id in wanted:
         start = time.perf_counter()
-        fig = FIGURES[fig_id](fast=args.fast)
+        fig = computed[fig_id]
         print(fig.to_text())
         if args.plot and fig_id != "table1":
             from .plot import plot_figure
@@ -175,6 +275,10 @@ def main(argv: List[str] | None = None) -> int:
                 print(f"  [{status}] {description}")
                 failures += 0 if ok else 1
         print(f"  ({time.perf_counter() - start:.1f}s wall)\n")
+    summary = f"computed {len(wanted)} figure(s) in {sweep_wall:.1f}s with jobs={args.jobs}"
+    if cache is not None:
+        summary += f"; {cache.summary()}"
+    print(summary)
     return 1 if failures else 0
 
 

@@ -30,6 +30,10 @@ class RunProfile:
     #: span name -> (count, total seconds), from the cross-layer causal
     #: trace (empty unless the run had ClusterConfig(obs_trace=True))
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: engine cost of the run: events dispatched by the event loop
+    events_processed: int = 0
+    #: events lazily cancelled (superseded timers) and never dispatched
+    events_cancelled: int = 0
 
     # -- aggregates ---------------------------------------------------------
     @property
@@ -89,6 +93,10 @@ class RunProfile:
             ):
                 st.add(name, int(agg["count"]), f"{agg['total']:.6g}")
             parts.append(st.render())
+        parts.append(
+            f"engine: {self.events_processed} events processed, "
+            f"{self.events_cancelled} lazily cancelled"
+        )
         return "\n\n".join(parts)
 
 
@@ -99,7 +107,11 @@ def profile_result(result: RunResult) -> RunProfile:
         raise ConfigurationError(
             "profile_result needs RunResult.cluster (produced by run_master/run_parallel)"
         )
-    profile = RunProfile(elapsed=result.elapsed)
+    profile = RunProfile(
+        elapsed=result.elapsed,
+        events_processed=cluster.sim.events_processed,
+        events_cancelled=cluster.sim.events_cancelled,
+    )
     for kernel in cluster.kernels:
         ex, gm = kernel.exchange.stats, kernel.gmem.stats
         profile.kernels.append(

@@ -16,6 +16,12 @@ next to the model's.
 Used three ways: the ``dse-experiments scale`` subcommand (see
 :func:`scale_main`), ``benchmarks/bench_large_cluster.py``, and
 ``docs/scaling.md`` (whose quoted numbers come from the CLI).
+
+Sweep points are independent simulations, so :func:`scale_sweep` can fan
+them across worker processes (``jobs=N`` / ``--jobs N``) and reuse prior
+results through the content-addressed cache (:mod:`repro.experiments.parallel`);
+the merged output is byte-identical however the points were scheduled —
+speed-ups are derived *after* the deterministic merge.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from ..dse.runtime import run_parallel
 from ..hardware.platforms import get_platform
 from ..network.topology import FabricConfig
 from ..util.tables import Table
+from .parallel import ResultCache, run_tasks
 
 __all__ = [
     "SCALE_WORKLOADS",
@@ -36,6 +43,7 @@ __all__ = [
     "measure_scale_point",
     "scale_sweep",
     "scale_table",
+    "sweep_canonical",
     "sweep_messages",
     "parse_int_list",
     "scale_main",
@@ -85,6 +93,24 @@ class ScalePoint:
     @property
     def msgs_per_proc(self) -> float:
         return self.msgs / self.nodes
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "nodes": self.nodes,
+            "fabric": self.fabric,
+            "batching": self.batching,
+            "elapsed": self.elapsed,
+            "msgs": self.msgs,
+            "events": self.events,
+            "wall_seconds": self.wall_seconds,
+            "speedup": self.speedup,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScalePoint":
+        return cls(**payload)
 
 
 def _resolve_worker(workload: str) -> Callable[..., Generator]:
@@ -140,6 +166,12 @@ def measure_scale_point(
     )
 
 
+def _scale_task(params: dict) -> dict:
+    """One sweep point as a picklable top-level task (pool workers fork
+    this module by reference); returns a JSON-serialisable dict."""
+    return measure_scale_point(**params).to_dict()
+
+
 def scale_sweep(
     workload: str,
     nodes: Sequence[int] = DEFAULT_NODES,
@@ -148,19 +180,29 @@ def scale_sweep(
     machines: Optional[int] = None,
     platform: str = "linux",
     size: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[ScalePoint]:
-    """Measure a node grid and fill in speed-ups against one processor."""
-    baseline = measure_scale_point(
-        workload, 1, fabric, batching, machines=1, platform=platform, size=size
-    )
-    points = []
+    """Measure a node grid and fill in speed-ups against one processor.
+
+    ``jobs > 1`` fans the baseline and every grid point across a process
+    pool; ``cache`` reuses prior identical runs.  Speed-ups are computed
+    from the merged results, so output is independent of scheduling.
+    """
+    tasks = [
+        {"workload": workload, "nodes": 1, "fabric": fabric, "batching": batching,
+         "machines": 1, "platform": platform, "size": size}
+    ]
     for n in nodes:
-        point = measure_scale_point(
-            workload, n, fabric, batching, machines=machines, platform=platform, size=size
+        tasks.append(
+            {"workload": workload, "nodes": n, "fabric": fabric, "batching": batching,
+             "machines": machines, "platform": platform, "size": size}
         )
+    raw = run_tasks(_scale_task, tasks, jobs=jobs, cache=cache, namespace="scale")
+    baseline, *rest = [ScalePoint.from_dict(r) for r in raw]
+    for point in rest:
         point.speedup = baseline.elapsed / point.elapsed if point.elapsed else None
-        points.append(point)
-    return points
+    return rest
 
 
 def scale_table(points: Sequence[ScalePoint], title: str = "large-cluster scaling") -> Table:
@@ -187,6 +229,23 @@ def scale_table(points: Sequence[ScalePoint], title: str = "large-cluster scalin
             round(p.wall_seconds, 1),
         )
     return table
+
+
+def sweep_canonical(points: Sequence[ScalePoint]) -> str:
+    """Deterministic JSON for a sweep (the ``--out`` format).
+
+    Drops ``wall_seconds`` — the one nondeterministic field — so the output
+    is byte-identical across ``--jobs`` settings and warm-cache reruns
+    (asserted by tests and the CI perf job).
+    """
+    import json
+
+    clean = []
+    for p in points:
+        d = p.to_dict()
+        del d["wall_seconds"]
+        clean.append(d)
+    return json.dumps({"points": clean}, indent=2, sort_keys=True) + "\n"
 
 
 # -- shared sweep helper (bench_message_scaling + bench_large_cluster) --------
@@ -260,8 +319,21 @@ def scale_main(argv: List[str]) -> int:
         "--size", type=int, default=None,
         help="problem size (gauss-seidel: matrix order; knights-tour: min jobs)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent sweep points (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every point, bypassing the on-disk result cache",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the sweep as deterministic JSON (wall-clock excluded)",
+    )
     args = parser.parse_args(argv)
 
+    cache = None if args.no_cache else ResultCache()
     points = scale_sweep(
         args.workload,
         nodes=args.nodes,
@@ -270,6 +342,15 @@ def scale_main(argv: List[str]) -> int:
         machines=args.machines,
         platform=args.platform,
         size=args.size,
+        jobs=args.jobs,
+        cache=cache,
     )
     print(scale_table(points, title=f"{args.workload} scaling ({args.platform})").render())
+    if cache is not None:
+        print(cache.summary())
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(sweep_canonical(points))
+        print(f"wrote {args.out}")
     return 0

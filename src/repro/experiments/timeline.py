@@ -80,9 +80,13 @@ def event_log(tracer: Tracer, limit: int = 50) -> str:
     return "\n".join(lines)
 
 
-def span_census(recorder) -> str:
+def span_census(recorder, sim=None) -> str:
     """Per-name span counts and total durations from a
-    :class:`repro.obs.SpanRecorder` (the cross-layer causal trace)."""
+    :class:`repro.obs.SpanRecorder` (the cross-layer causal trace).
+
+    Pass the run's :class:`~repro.sim.core.Simulator` to append the engine
+    footer (events processed / lazily cancelled) under the table.
+    """
     if not recorder.spans:
         return "no spans captured (was obs_trace=True set?)"
     counts: Dict[str, int] = defaultdict(int)
@@ -93,4 +97,10 @@ def span_census(recorder) -> str:
     table = Table(["span", "count", "total time (s)"], title="span census")
     for name in sorted(counts, key=lambda n: -totals[n]):
         table.add(name, counts[name], f"{totals[name]:.6g}")
-    return table.render()
+    out = table.render()
+    if sim is not None:
+        out += (
+            f"\nengine: {sim.events_processed} events processed, "
+            f"{sim.events_cancelled} lazily cancelled"
+        )
+    return out

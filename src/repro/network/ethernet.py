@@ -25,7 +25,7 @@ from ..obs.spans import NET_TID, NULL_RECORDER
 from ..sim.core import Event, Simulator
 from ..sim.monitor import StatSet, TimeWeighted
 from ..sim.rng import RandomStreams
-from ..util.units import US, bits
+from ..util.units import US
 from .frame import BROADCAST, EthernetFrame
 
 __all__ = ["EthernetBus", "SEND_OK", "SEND_DROPPED"]
@@ -70,8 +70,20 @@ class EthernetBus:
         self._resolving = False
         #: station -> partition group id; None = one unbroken segment
         self._partition: Optional[Dict[int, int]] = None
+        #: per-station backoff streams (same objects rng.stream would hand
+        #: out — cached to keep the per-frame f-string off the send path)
+        self._backoff_streams: Dict[int, Any] = {}
+        self._resolve_name = f"{name}.resolve"
 
         self.stats = StatSet(name)
+        # Hot-path counters, resolved once (StatSet.counter is a lazy dict
+        # lookup; send/deliver bump these on every frame).
+        self._c_frames_sent = self.stats.counter("frames_sent")
+        self._c_bytes_sent = self.stats.counter("bytes_sent")
+        self._c_backoffs = self.stats.counter("backoffs")
+        self._c_collisions = self.stats.counter("collisions")
+        self._c_collided_frames = self.stats.counter("collided_frames")
+        self._c_frames_delivered = self.stats.counter("frames_delivered")
         self.utilization = TimeWeighted(f"{name}.util", start_time=sim.now)
         self.obs = getattr(sim, "obs", None) or NULL_RECORDER
 
@@ -130,7 +142,8 @@ class EthernetBus:
 
     # -- transmission ----------------------------------------------------
     def transmission_time(self, frame: EthernetFrame) -> float:
-        return bits(frame.wire_bytes) / self.rate_bps
+        # bits() inlined (int * 8): identical value, one call fewer per frame.
+        return frame.wire_bytes * 8 / self.rate_bps
 
     def send(self, frame: EthernetFrame) -> Generator[Event, Any, str]:
         """Transmit ``frame``; completes when it is on the wire (or dropped).
@@ -142,7 +155,10 @@ class EthernetBus:
             raise NetworkError(f"source station {frame.src} is not attached to {self.name}")
         if frame.dst != BROADCAST and frame.dst not in self._stations:
             raise NetworkError(f"destination station {frame.dst} is not attached to {self.name}")
-        backoff_rng = self.rng.stream(f"backoff:{frame.src}")
+        backoff_rng = self._backoff_streams.get(frame.src)
+        if backoff_rng is None:
+            backoff_rng = self.rng.stream(f"backoff:{frame.src}")
+            self._backoff_streams[frame.src] = backoff_rng
         span = None
         if self.obs.enabled and frame.trace is not None:
             span = self.obs.begin(
@@ -154,22 +170,22 @@ class EthernetBus:
             while self._busy:
                 yield self._wait_idle()
             # Join the contention window for the current idle period.
-            grant = self.sim.event(name=f"grant:{frame.frame_id}")
+            grant = Event(self.sim, "grant")
             self._contenders.append((frame, grant))
             if not self._resolving:
                 self._resolving = True
-                self.sim.process(self._resolve(), name=f"{self.name}.resolve")
+                self.sim.process(self._resolve(), name=self._resolve_name)
             outcome = yield grant
             if outcome == SEND_OK:
-                self.stats.counter("frames_sent").increment()
-                self.stats.counter("bytes_sent").increment(frame.wire_bytes)
+                self._c_frames_sent.increment()
+                self._c_bytes_sent.increment(frame.wire_bytes)
                 if span is not None:
                     span.args = {"attempts": attempts + 1}
                     self.obs.end(span, self.sim.now)
                 return SEND_OK
             # Collision: back off a random number of slot times.
             attempts += 1
-            self.stats.counter("backoffs").increment()
+            self._c_backoffs.increment()
             if span is not None:
                 self.obs.instant(
                     self.sim.now, "eth.collision", "net", frame.src, NET_TID, span.ctx
@@ -187,9 +203,10 @@ class EthernetBus:
 
     # -- internals --------------------------------------------------------
     def _wait_idle(self) -> Event:
-        if self._idle_event is None or self._idle_event.processed:
-            self._idle_event = self.sim.event(name=f"{self.name}.idle")
-        return self._idle_event
+        idle = self._idle_event
+        if idle is None or idle.callbacks is None:  # None/processed: re-arm
+            idle = self._idle_event = Event(self.sim, "idle")
+        return idle
 
     def _set_busy(self) -> None:
         self._busy = True
@@ -218,8 +235,8 @@ class EthernetBus:
             self._set_idle()
             grant.succeed(SEND_OK)
         else:
-            self.stats.counter("collisions").increment()
-            self.stats.counter("collided_frames").increment(len(contenders))
+            self._c_collisions.increment()
+            self._c_collided_frames.increment(len(contenders))
             self._set_busy()
             yield self.sim.timeout(self.jam_time)
             self._set_idle()
@@ -243,7 +260,7 @@ class EthernetBus:
     def _deliver(self, frame: EthernetFrame) -> None:
         if self._partition is None:
             # Default (unpartitioned) path: unchanged from the baseline.
-            self.stats.counter("frames_delivered").increment()
+            self._c_frames_delivered.increment()
             if frame.dst == BROADCAST:
                 for sid, deliver in self._stations.items():
                     if sid != frame.src:

@@ -35,7 +35,7 @@ ETH_MTU = 1500
 _frame_ids = count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class EthernetFrame:
     """One link-layer frame."""
 

@@ -12,6 +12,16 @@ exactly in proportion to their number.
 The implementation keeps exact PS semantics event-by-event: on every
 arrival/departure the remaining demands are advanced analytically and the
 next completion re-scheduled, so no per-timeslice events are generated.
+
+The shortest remaining demand is cached (``_shortest``) instead of being
+recomputed with ``min()`` over all jobs on every arrival — the recompute
+was the whole simulation's hottest line under churn (O(n) per arrival,
+O(n^2) per burst wave).  The cache is *bit-identical* to the recompute:
+IEEE-754 subtraction by one shared ``progressed`` value is monotone, so
+the minimum job stays minimal and its new remaining equals the cached
+``_shortest - progressed`` exactly (both clamp at 0.0 the same way);
+arrivals take ``min(_shortest, demand)``; only departures — rare timer
+fires — rescan the survivors.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -58,6 +68,11 @@ class ProcessorSharingCPU:
         self._last = sim.now
         self._epoch = 0
         self._timer: Optional[Event] = None
+        #: cached min(job.remaining) — bit-identical to a full rescan (see
+        #: module docstring); inf when idle
+        self._shortest = float("inf")
+        #: the one bound completion callback (no per-reschedule lambda)
+        self._on_timer_cb = self._on_timer
         self.stats = StatSet(name)
         self.run_queue = TimeWeighted(f"{name}.runq", start_time=sim.now)
         self.busy = TimeWeighted(f"{name}.busy", start_time=sim.now)
@@ -96,6 +111,8 @@ class ProcessorSharingCPU:
         job_id = self._next_job_id
         self._next_job_id += 1
         self._jobs[job_id] = _Job(event, demand_seconds)
+        if demand_seconds < self._shortest:
+            self._shortest = demand_seconds
         self._note_queue()
         self._reschedule()
         return event
@@ -118,6 +135,10 @@ class ProcessorSharingCPU:
             job.remaining -= progressed
             if job.remaining < 0:
                 job.remaining = 0.0
+        # Same subtraction, same bits: the minimum stays the minimum.
+        self._shortest -= progressed
+        if self._shortest < 0:
+            self._shortest = 0.0
 
     def _reschedule(self) -> None:
         self._epoch += 1
@@ -130,17 +151,18 @@ class ProcessorSharingCPU:
             self._timer.cancel()
             self._timer = None
         if not self._jobs:
+            self._shortest = float("inf")
             return
-        epoch = self._epoch
         r = self.rate(len(self._jobs))
-        shortest = min(job.remaining for job in self._jobs.values())
-        delay = shortest / r
-        timer = self.sim.timeout(delay)
-        timer.callbacks.append(lambda _ev: self._on_timer(epoch))
+        delay = self._shortest / r
+        # The armed epoch rides in the timeout's value, so one cached bound
+        # method serves every timer — no per-reschedule closure allocation.
+        timer = self.sim.timeout(delay, value=self._epoch)
+        timer.callbacks.append(self._on_timer_cb)
         self._timer = timer
 
-    def _on_timer(self, epoch: int) -> None:
-        if epoch != self._epoch:
+    def _on_timer(self, event: Event) -> None:
+        if event._value != self._epoch:
             return  # superseded by a later arrival/departure
         self._timer = None
         self._advance()
@@ -150,6 +172,12 @@ class ProcessorSharingCPU:
             job = self._jobs.pop(jid)
             self.stats.counter("completed").increment()
             events.append(job.event)
+        # Departures are the one place the cached minimum must be rescanned.
+        self._shortest = (
+            min(job.remaining for job in self._jobs.values())
+            if self._jobs
+            else float("inf")
+        )
         self._note_queue()
         self._reschedule()
         for event in events:

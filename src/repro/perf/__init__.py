@@ -1,0 +1,25 @@
+"""Performance layer: event-loop profiling and engine benchmarks.
+
+Two halves:
+
+* :mod:`repro.perf.engine` — :class:`EngineProfiler`, the dispatch-level
+  profiler behind ``dse-experiments profile-engine``: per-event-type
+  counts/time, callback fan-out histograms, and hot-site attribution.
+* :mod:`repro.perf.benches` — the canonical wall-clock scenarios recorded
+  in ``BENCH_engine.json`` and gated by ``tools/check_bench.py``.
+
+See ``docs/performance.md`` for how these guided the engine fast paths.
+"""
+
+from .benches import BENCHES, MICRO_BENCHES, run_bench, time_bench
+from .engine import EngineProfile, EngineProfiler, SiteStats
+
+__all__ = [
+    "BENCHES",
+    "MICRO_BENCHES",
+    "run_bench",
+    "time_bench",
+    "EngineProfile",
+    "EngineProfiler",
+    "SiteStats",
+]

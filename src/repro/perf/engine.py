@@ -1,0 +1,238 @@
+"""Event-loop profiler: where the host CPU goes inside ``Simulator.run``.
+
+The figure suite pushes millions of events through one Python event loop,
+so engine optimisation has to be guided by dispatch-level data, not
+``cProfile`` guesses: which *event types* dominate, how wide their callback
+fan-out is, and which *callback sites* (bound methods of the OS model, the
+exchange, the protocol stack) actually burn the time.
+
+:class:`EngineProfiler` is a context manager that temporarily replaces
+``Simulator.run`` with an instrumented drive loop.  The instrumented loop
+dispatches events exactly like the real one — same ordering, same
+exception semantics, same simulated clock — and additionally records, per
+dispatched event:
+
+* the event type (``Timeout``, ``Process``, ``Request``, ...),
+* wall nanoseconds spent running its callbacks,
+* the callback fan-out (how many waiters one event resumed), and
+* per-callback-site attribution (the callback's qualified name).
+
+Profiling changes *no* simulated outcome (asserted by tests); it only
+costs host time, so it is opt-in: ``dse-experiments profile-engine`` or a
+``with EngineProfiler() as prof:`` block around any run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from heapq import heappop as _heappop
+from typing import Any, Dict, List, Optional
+
+from ..sim.core import Event, Simulator
+from ..util.tables import Table
+
+__all__ = ["EngineProfiler", "EngineProfile", "SiteStats"]
+
+
+@dataclass
+class SiteStats:
+    """Aggregate for one attribution key (event type or callback site)."""
+
+    count: int = 0
+    wall_ns: int = 0
+
+    @property
+    def wall_ms(self) -> float:
+        return self.wall_ns / 1e6
+
+    @property
+    def avg_us(self) -> float:
+        return self.wall_ns / self.count / 1e3 if self.count else 0.0
+
+
+@dataclass
+class EngineProfile:
+    """The collected event-loop profile."""
+
+    #: event type name -> dispatch count / callback wall time
+    by_type: Dict[str, SiteStats] = field(default_factory=dict)
+    #: callback qualified name -> invocation count / wall time
+    by_site: Dict[str, SiteStats] = field(default_factory=dict)
+    #: callback fan-out (len(callbacks) at dispatch) -> event count
+    fanout: Dict[int, int] = field(default_factory=dict)
+    events_processed: int = 0
+    events_cancelled: int = 0
+    wall_ns: int = 0
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_ns / 1e9
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_processed / self.wall_seconds if self.wall_ns else 0.0
+
+    def render(self, top: int = 12) -> str:
+        """The three profile tables plus the engine footer line."""
+        parts = []
+        tt = Table(
+            ["event type", "count", "total (ms)", "avg (us)", "share"],
+            title="dispatch by event type",
+        )
+        total_ns = sum(s.wall_ns for s in self.by_type.values()) or 1
+        for name, s in sorted(self.by_type.items(), key=lambda kv: -kv[1].wall_ns):
+            tt.add(name, s.count, f"{s.wall_ms:.3f}", f"{s.avg_us:.2f}",
+                   f"{100.0 * s.wall_ns / total_ns:.1f}%")
+        parts.append(tt.render())
+
+        st = Table(
+            ["callback site", "calls", "total (ms)", "avg (us)"],
+            title=f"hot callback sites (top {top})",
+        )
+        for name, s in sorted(self.by_site.items(), key=lambda kv: -kv[1].wall_ns)[:top]:
+            st.add(name, s.count, f"{s.wall_ms:.3f}", f"{s.avg_us:.2f}")
+        parts.append(st.render())
+
+        ft = Table(["fan-out", "events"], title="callback fan-out histogram")
+        for width in sorted(self.fanout):
+            ft.add(width, self.fanout[width])
+        parts.append(ft.render())
+
+        parts.append(
+            f"engine: {self.events_processed} events dispatched, "
+            f"{self.events_cancelled} lazily cancelled (never dispatched), "
+            f"{self.wall_seconds:.3f}s wall, "
+            f"{self.events_per_second:,.0f} events/s"
+        )
+        return "\n\n".join(parts)
+
+
+def _site_name(callback: Any) -> str:
+    """A stable attribution key for one callback."""
+    func = getattr(callback, "__func__", callback)
+    return getattr(func, "__qualname__", repr(callback))
+
+
+class EngineProfiler:
+    """Context manager that instruments every ``Simulator.run`` inside it.
+
+    The patch is class-wide (``Simulator.run``), so runs started by code
+    that builds its own simulator (``run_parallel`` builds the cluster
+    internally) are captured without plumbing.  Nested profilers are not
+    supported; the original ``run`` is always restored on exit.
+    """
+
+    def __init__(self) -> None:
+        self.profile = EngineProfile()
+        self._saved_run: Optional[Any] = None
+        self._cancel_base: Dict[int, int] = {}
+
+    # -- context management ------------------------------------------------
+    def __enter__(self) -> "EngineProfiler":
+        if self._saved_run is not None:
+            raise RuntimeError("EngineProfiler cannot be nested/re-entered")
+        self._saved_run = Simulator.run
+        profiler = self
+
+        def run(sim, until=None, max_events=None):
+            return profiler._profiled_run(sim, until, max_events)
+
+        Simulator.run = run
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        Simulator.run = self._saved_run
+        self._saved_run = None
+
+    # -- the instrumented drive loop ----------------------------------------
+    def _profiled_run(
+        self, sim: Simulator, until: Optional[Any], max_events: Optional[int]
+    ) -> Any:
+        """`Simulator.run` semantics plus per-dispatch accounting.
+
+        Mirrors :meth:`repro.sim.core.Simulator.run` exactly — ordering,
+        deadline handling, the failed-unwaited-event raise, and the stop
+        event — with timing wrapped around callback execution.
+        """
+        prof = self.profile
+        by_type = prof.by_type
+        by_site = prof.by_site
+        fanout = prof.fanout
+        clock = time.perf_counter_ns
+
+        cancelled_before = sim.events_cancelled
+
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        elif until is not None:
+            deadline = float(until)
+            if deadline < sim.now:
+                raise ValueError(f"until={deadline} is in the past (now={sim.now})")
+
+        processed_limit = (
+            sim.events_processed + max_events if max_events is not None else None
+        )
+        queue = sim._queue
+        t_loop0 = clock()
+        try:
+            while queue:
+                entry = queue[0]
+                if entry[3] is None:
+                    sim._drop_cancelled_head()
+                    continue
+                if entry[0] > deadline:
+                    sim.now = deadline
+                    return None
+                if processed_limit is not None and sim.events_processed >= processed_limit:
+                    raise RuntimeError(f"simulation exceeded max_events={max_events}")
+                _heappop(queue)
+                event = entry[3]
+                sim.now = entry[0]
+                event._entry = None
+                callbacks, event.callbacks = event.callbacks, None
+                sim.events_processed += 1
+
+                width = len(callbacks)
+                fanout[width] = fanout.get(width, 0) + 1
+                t0 = clock()
+                for callback in callbacks:
+                    c0 = clock()
+                    callback(event)
+                    dt = clock() - c0
+                    site = _site_name(callback)
+                    s = by_site.get(site)
+                    if s is None:
+                        s = by_site[site] = SiteStats()
+                    s.count += 1
+                    s.wall_ns += dt
+                t1 = clock()
+
+                tname = type(event).__name__
+                ts = by_type.get(tname)
+                if ts is None:
+                    ts = by_type[tname] = SiteStats()
+                ts.count += 1
+                ts.wall_ns += t1 - t0
+                prof.events_processed += 1
+
+                if not event._ok and not callbacks and isinstance(event._value, BaseException):
+                    raise event._value
+                if stop_event is not None and stop_event.callbacks is None:
+                    if stop_event._ok:
+                        return stop_event.value
+                    raise stop_event.value  # type: ignore[misc]
+            if stop_event is not None and not stop_event.processed:
+                raise RuntimeError(
+                    f"simulation queue drained before {stop_event!r} triggered (deadlock?)"
+                )
+            if deadline != float("inf"):
+                sim.now = deadline
+            return None
+        finally:
+            prof.wall_ns += clock() - t_loop0
+            prof.events_cancelled += sim.events_cancelled - cancelled_before

@@ -17,22 +17,32 @@ increasing sequence number, and all randomness flows through seeded streams
 (:mod:`repro.sim.rng`).
 
 Large virtual clusters (hundreds of kernels) put millions of events through
-this loop, so the engine has a deliberate fast path:
+this loop, so the engine has a deliberate fast path (profiled with
+:mod:`repro.perf`; see ``docs/performance.md``):
 
 * heap entries are mutable ``[time, priority, seq, event]`` slots, and
   :meth:`Event.cancel` nulls the event slot in place — a *lazy deletion*
   that lets superseded timers (the processor-sharing CPU re-arms one on
   every arrival/departure) die without ever being dispatched;
+* cancelled :class:`Timeout` objects go to a per-simulator free list and
+  are re-armed in place by :meth:`Simulator.timeout` — the cancel contract
+  (you cancel only events you hold *every* reference to) is exactly what
+  makes the recycling safe, and timer churn was the engine's dominant
+  allocation;
+* :class:`Timeout` construction inlines both the :class:`Event`
+  constructor and the scheduling push — it is the hottest allocation site;
 * ``Simulator.now`` is a plain attribute, not a property, because the hot
   layers read the clock on every message hop;
-* :meth:`Simulator.run` drives the heap with locally bound ``heappop``
-  rather than paying a ``step()`` call per event.
+* :meth:`Simulator.run` drives the heap with locally bound ``heappop``,
+  dispatches the single-waiter case without looping, and defers to the
+  shared :meth:`Simulator._drop_cancelled_head` helper (also used by
+  :meth:`peek` and :meth:`step`) only when the head slot is cancelled;
+* the tie-break sequence is a plain int increment, not ``itertools.count``.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -55,6 +65,9 @@ PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
 
 _PENDING = object()
+
+#: cap on recycled Timeout objects kept per simulator
+_TIMEOUT_POOL_MAX = 256
 
 
 class Interrupt(Exception):
@@ -121,7 +134,7 @@ class Event:
     # -- triggering ----------------------------------------------------
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -130,7 +143,7 @@ class Event:
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event with an exception that will be thrown into waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -145,8 +158,10 @@ class Event:
         The heap slot is nulled in place, so the queue never dispatches the
         event — its callbacks will not run and waiters would hang.  Only
         cancel events you hold every reference to (e.g. a timer you armed
-        yourself and are about to supersede).  Cancelling an unscheduled or
-        already-processed event is a no-op.
+        yourself and are about to supersede), and treat the object as dead
+        afterwards: cancelled :class:`Timeout` objects created by
+        :meth:`Simulator.timeout` are recycled.  Cancelling an unscheduled
+        or already-processed event is a no-op.
         """
         entry = self._entry
         if entry is None:
@@ -177,11 +192,37 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + Simulator._schedule: this constructor is
+        # the engine's dominant allocation site (see docs/performance.md).
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay, PRIORITY_NORMAL)
+        self._ok = True
+        self._scheduled = True
+        self._entry = None
+        self.delay = delay
+        sim._seq = seq = sim._seq + 1
+        self._entry = entry = [sim.now + delay, PRIORITY_NORMAL, seq, self]
+        heappush(sim._queue, entry)
+
+    def cancel(self) -> None:
+        """Cancel the timeout and recycle it through the simulator's pool.
+
+        Per the :meth:`Event.cancel` contract the caller holds every
+        reference and is discarding the timer, so the object can be re-armed
+        by a later :meth:`Simulator.timeout` call.
+        """
+        entry = self._entry
+        if entry is None:
+            return
+        entry[3] = None
+        self._entry = None
+        self.callbacks = None
+        sim = self.sim
+        sim.events_cancelled += 1
+        if type(self) is Timeout and len(sim._timeout_pool) < _TIMEOUT_POOL_MAX:
+            sim._timeout_pool.append(self)
 
 
 class Initialize(Event):
@@ -190,11 +231,18 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
-        super().__init__(sim, name=f"init:{process.name}")
-        self._ok = True
+        # Inlined Event.__init__ + _schedule: one Initialize per process
+        # spawn, and short-lived resolver/worker processes are spawned in
+        # bulk on the contention and churn hot paths.
+        self.sim = sim
+        self.name = "init"
+        self.callbacks = [process._resume_cb]
         self._value = None
-        self.callbacks.append(process._resume)
-        sim._schedule(self, 0.0, PRIORITY_URGENT)
+        self._ok = True
+        self._scheduled = True
+        sim._seq = seq = sim._seq + 1
+        self._entry = entry = [sim.now, PRIORITY_URGENT, seq, self]
+        heappush(sim._queue, entry)
 
 
 class Process(Event):
@@ -206,7 +254,7 @@ class Process(Event):
     exception propagates into the waiter).
     """
 
-    __slots__ = ("_generator", "_target", "is_alive_hint")
+    __slots__ = ("_generator", "_target", "_resume_cb", "is_alive_hint")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -215,6 +263,9 @@ class Process(Event):
         self._generator = generator
         #: the event this process is currently waiting on (None when running)
         self._target: Optional[Event] = None
+        #: the one bound method registered as a callback everywhere — built
+        #: once so suspension does not allocate a fresh bound method
+        self._resume_cb: Callable[[Event], None] = self._resume
         Initialize(sim, self)
 
     @property
@@ -236,7 +287,7 @@ class Process(Event):
         target = self._target
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
@@ -256,29 +307,31 @@ class Process(Event):
         event = Event(self.sim, name=f"interrupt:{self.name}")
         event._ok = False
         event._value = Interrupt(cause)
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.sim._schedule(event, 0.0, PRIORITY_URGENT)
 
     # -- machinery -----------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             # An interrupt raced with normal termination; drop it.
             return
         # Detach from the event we were waiting on (relevant for interrupts).
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target is not event:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume_cb)
                 except ValueError:
                     pass
-        self.sim._active_process = self
+        sim = self.sim
+        generator = self._generator
+        sim._active_process = self
         try:
             while True:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
-                    exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(event._value)
                 if not isinstance(next_event, Event):
                     raise TypeError(
                         f"process {self.name!r} yielded {next_event!r}, expected an Event"
@@ -286,7 +339,7 @@ class Process(Event):
                 if next_event.callbacks is not None:
                     # Still pending (or triggered but not yet processed):
                     # register and suspend.
-                    next_event.callbacks.append(self._resume)
+                    next_event.callbacks.append(self._resume_cb)
                     self._target = next_event
                     return
                 # Already processed: loop around immediately with its value.
@@ -295,16 +348,16 @@ class Process(Event):
             self._target = None
             self._ok = True
             self._value = stop.value
-            self.sim._schedule(self, 0.0, PRIORITY_NORMAL)
+            sim._schedule(self, 0.0, PRIORITY_NORMAL)
         except BaseException as exc:
             self._target = None
             self._ok = False
             self._value = exc
             if not isinstance(exc, Exception):
                 raise
-            self.sim._schedule(self, 0.0, PRIORITY_NORMAL)
+            sim._schedule(self, 0.0, PRIORITY_NORMAL)
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
 
 class _Condition(Event):
@@ -382,7 +435,10 @@ class Simulator:
         #: treat it as read-only from outside the engine
         self.now = float(start_time)
         self._queue: list = []
-        self._seq = count()
+        #: tie-break sequence (plain int: incremented inline on the hot path)
+        self._seq = 0
+        #: recycled cancelled Timeouts awaiting re-arming (see Timeout.cancel)
+        self._timeout_pool: list = []
         self._active_process: Optional[Process] = None
         #: number of events processed so far (diagnostics / budget guards)
         self.events_processed = 0
@@ -398,6 +454,22 @@ class Simulator:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            # Re-arm a recycled timeout in place: same fields a fresh
+            # construction would set, minus the allocation.
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            t = pool.pop()
+            t.name = name
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t.delay = delay
+            self._seq = seq = self._seq + 1
+            t._entry = entry = [self.now + delay, PRIORITY_NORMAL, seq, t]
+            heappush(self._queue, entry)
+            return t
         return Timeout(self, delay, value, name)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -414,15 +486,20 @@ class Simulator:
         if event._scheduled:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._scheduled = True
-        entry = [self.now + delay, priority, next(self._seq), event]
-        event._entry = entry
-        heapq.heappush(self._queue, entry)
+        self._seq = seq = self._seq + 1
+        event._entry = entry = [self.now + delay, priority, seq, event]
+        heappush(self._queue, entry)
 
     def _drop_cancelled_head(self) -> None:
-        """Pop lazily cancelled entries off the head of the queue."""
+        """Pop lazily cancelled entries off the head of the queue.
+
+        The one shared cancelled-slot skip: :meth:`peek`, :meth:`step` and
+        :meth:`run` all defer to it, so lazy-deletion bookkeeping lives in
+        exactly one place.
+        """
         queue = self._queue
         while queue and queue[0][3] is None:
-            heapq.heappop(queue)
+            heappop(queue)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
@@ -431,10 +508,10 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one (non-cancelled) event."""
-        while True:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-            if event is not None:
-                break
+        self._drop_cancelled_head()
+        entry = heappop(self._queue)
+        when = entry[0]
+        event = entry[3]
         if when < self.now:  # pragma: no cover - guarded by _schedule
             raise RuntimeError("event scheduled in the past")
         self.now = when
@@ -454,7 +531,8 @@ class Simulator:
         ``until`` may be a simulation time (run up to and including that
         time) or an :class:`Event` (run until it is processed; returns its
         value).  ``max_events`` bounds total events processed as a runaway
-        guard.
+        guard.  Lazily cancelled events are skipped without dispatch and
+        show up in :attr:`events_cancelled` only.
         """
         stop_event: Optional[Event] = None
         deadline = float("inf")
@@ -470,29 +548,37 @@ class Simulator:
         processed_limit = (
             self.events_processed + max_events if max_events is not None else None
         )
-        # Hot loop: locally bound pop, cancelled slots skipped inline.
+        # Hot loop: locally bound pop; the single-waiter dispatch (the
+        # overwhelmingly common shape — one process waiting on one event)
+        # skips the callback for-loop entirely.
         queue = self._queue
-        pop = heapq.heappop
+        pop = heappop
         while queue:
             entry = queue[0]
-            if entry[3] is None:  # lazily cancelled: drop and re-examine
-                pop(queue)
+            if entry[3] is None:  # lazily cancelled: shared helper drops it
+                self._drop_cancelled_head()
                 continue
-            if entry[0] > deadline:
+            when = entry[0]
+            if when > deadline:
                 self.now = deadline
                 return None
             if processed_limit is not None and self.events_processed >= processed_limit:
                 raise RuntimeError(f"simulation exceeded max_events={max_events}")
-            when, _prio, _seq, event = pop(queue)
+            pop(queue)
+            event = entry[3]
             self.now = when
             event._entry = None
-            callbacks, event.callbacks = event.callbacks, None
+            callbacks = event.callbacks
+            event.callbacks = None
             self.events_processed += 1
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not callbacks and isinstance(event._value, BaseException):
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            elif callbacks:
+                for callback in callbacks:
+                    callback(event)
+            elif not event._ok and isinstance(event._value, BaseException):
                 raise event._value
-            if stop_event is not None and stop_event.processed:
+            if stop_event is not None and stop_event.callbacks is None:
                 if stop_event._ok:
                     return stop_event.value
                 raise stop_event.value  # type: ignore[misc]

@@ -1,0 +1,168 @@
+"""Tests for the multicore experiment runner and its result cache.
+
+The core guarantee: merged sweep output is byte-identical whether points
+run serially, across a process pool, or out of a warm cache — and the
+cache can never serve results from a different code version.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.experiments.parallel import (
+    ResultCache,
+    cache_key,
+    canonical_params,
+    code_fingerprint,
+    run_tasks,
+)
+from repro.experiments.scaling import ScalePoint, scale_sweep, sweep_canonical
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _square(params):
+    return {"n": params["n"], "sq": params["n"] * params["n"]}
+
+
+# -- keying --------------------------------------------------------------------
+def test_cache_key_stable_under_dict_ordering():
+    a = cache_key("t", {"x": 1, "y": 2}, "fp")
+    b = cache_key("t", {"y": 2, "x": 1}, "fp")
+    assert a == b
+
+
+def test_cache_key_sensitive_to_everything():
+    base = cache_key("t", {"x": 1}, "fp")
+    assert cache_key("other", {"x": 1}, "fp") != base
+    assert cache_key("t", {"x": 2}, "fp") != base
+    assert cache_key("t", {"x": 1}, "fp2") != base
+
+
+def test_code_fingerprint_is_cached_and_hexdigest():
+    fp = code_fingerprint()
+    assert fp == code_fingerprint()
+    assert len(fp) == 64 and int(fp, 16) >= 0
+
+
+def test_canonical_params_is_deterministic_json():
+    s = canonical_params({"b": [1, 2], "a": None})
+    assert s == '{"a":null,"b":[1,2]}'
+
+
+# -- cache ---------------------------------------------------------------------
+def test_cache_roundtrip_and_hit_miss_accounting(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = cache_key("t", {"x": 1}, "fp")
+    assert cache.get(key) is None
+    cache.put(key, {"value": 42})
+    assert cache.get(key) == {"value": 42}
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_cache_tolerates_torn_entries(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    key = cache_key("t", {"x": 1}, "fp")
+    path = cache._path(key)
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")
+    assert cache.get(key) is None  # torn entry reads as a miss
+    cache.put(key, {"value": 1})
+    assert cache.get(key) == {"value": 1}  # and a fresh put repairs it
+
+
+def test_run_tasks_uses_cache_and_preserves_order(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    params = [{"n": n} for n in (3, 1, 2)]
+    first = run_tasks(_square, params, jobs=1, cache=cache, namespace="sq")
+    assert [r["sq"] for r in first] == [9, 1, 4]
+    again = run_tasks(_square, params, jobs=1, cache=cache, namespace="sq")
+    assert again == first
+    assert cache.hits == 3  # warm pass computed nothing
+
+
+def test_run_tasks_pool_matches_serial(tmp_path):
+    params = [{"n": n} for n in range(6)]
+    serial = run_tasks(_square, params, jobs=1)
+    pooled = run_tasks(_square, params, jobs=2)
+    assert pooled == serial
+
+
+# -- the sweep determinism guarantee ------------------------------------------
+def _tiny_sweep(jobs, cache):
+    return scale_sweep(
+        "gauss-seidel", nodes=(2, 3), fabric="switch", batching=True,
+        platform="sunos", size=48, jobs=jobs, cache=cache,
+    )
+
+
+def test_sweep_identical_across_jobs_and_cache(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    serial = sweep_canonical(_tiny_sweep(jobs=1, cache=None))
+    pooled = sweep_canonical(_tiny_sweep(jobs=4, cache=cache))
+    assert pooled == serial  # byte-identical canonical JSON
+    warm = sweep_canonical(_tiny_sweep(jobs=1, cache=cache))
+    assert warm == serial
+    assert cache.hits == 3 and cache.misses == 3  # warm pass was all hits
+
+
+def test_sweep_canonical_excludes_wall_clock():
+    point = ScalePoint(
+        workload="w", nodes=2, fabric="switch", batching=True,
+        elapsed=1.0, msgs=5, events=10, wall_seconds=123.0, speedup=1.5,
+    )
+    text = sweep_canonical([point])
+    assert "wall_seconds" not in text
+    payload = json.loads(text)
+    assert payload["points"][0]["nodes"] == 2
+
+
+def test_scale_point_dict_roundtrip():
+    point = ScalePoint(
+        workload="w", nodes=4, fabric="ethernet", batching=False,
+        elapsed=0.5, msgs=7, events=11, wall_seconds=0.1,
+        speedup=2.0, stats={"msgs_sent": 7.0},
+    )
+    assert ScalePoint.from_dict(point.to_dict()) == point
+
+
+# -- CLI -----------------------------------------------------------------------
+def test_scale_cli_jobs_and_cache_end_to_end(tmp_path):
+    env = {
+        "PYTHONPATH": str(REPO / "src"),
+        "PATH": "/usr/bin:/bin",
+        "REPRO_CACHE_DIR": str(tmp_path / "cache"),
+    }
+    argv = [
+        sys.executable, "-m", "repro.experiments.cli", "scale",
+        "--workload", "gauss-seidel", "--nodes", "2", "--size", "48",
+        "--platform", "sunos",
+    ]
+    cold = subprocess.run(
+        argv + ["--jobs", "2", "--out", str(tmp_path / "cold.json")],
+        capture_output=True, text=True, cwd=tmp_path, env=env,
+    )
+    cold.check_returncode()
+    assert "2 miss(es)" in cold.stdout
+    warm = subprocess.run(
+        argv + ["--jobs", "1", "--out", str(tmp_path / "warm.json")],
+        capture_output=True, text=True, cwd=tmp_path, env=env,
+    )
+    warm.check_returncode()
+    assert "2 hit(s)" in warm.stdout
+    assert (tmp_path / "cold.json").read_bytes() == (tmp_path / "warm.json").read_bytes()
+
+
+def test_scale_cli_no_cache_bypasses(tmp_path):
+    out = subprocess.run(
+        [sys.executable, "-m", "repro.experiments.cli", "scale",
+         "--workload", "gauss-seidel", "--nodes", "2", "--size", "48",
+         "--platform", "sunos", "--no-cache"],
+        capture_output=True, text=True, cwd=tmp_path,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin",
+             "REPRO_CACHE_DIR": str(tmp_path / "cache")},
+    )
+    out.check_returncode()
+    assert "cache:" not in out.stdout
+    assert not (tmp_path / "cache").exists()

@@ -1,0 +1,170 @@
+"""Event.cancel() interacting with conditions, kill(), and the Timeout pool.
+
+The engine deletes cancelled events *lazily* — the heap slot is nulled and
+the object may be recycled — so these tests pin the safety properties that
+lazy deletion must preserve: a cancelled event never resurrects a waiter,
+never runs a stale callback, and never leaks a registration on another
+event's callback list.
+"""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Simulator
+
+
+# -- cancel vs AllOf/AnyOf ----------------------------------------------------
+def test_anyof_fires_when_other_child_cancelled():
+    sim = Simulator()
+    e = Event(sim)
+    t = sim.timeout(10.0)
+    cond = AnyOf(sim, [e, t])
+    done = []
+
+    def proc():
+        done.append((yield cond))
+
+    sim.process(proc())
+    e.succeed("winner")
+    t.cancel()  # superseded timer: must not hang or resurrect anything
+    sim.run_all()
+    assert done and done[0][e] == "winner"
+    assert sim.now == 0.0  # the 10s timer never dispatched
+
+
+def test_cancelled_child_never_triggers_anyof():
+    sim = Simulator()
+    t1 = sim.timeout(1.0)
+    t2 = sim.timeout(5.0)
+    cond = AnyOf(sim, [t1, t2])
+    t1.cancel()
+    sim.run_all()
+    # Only the surviving child can fire the condition, at its own time.
+    # (A cancelled Timeout still *reads* as triggered — its value is set at
+    # construction — which is why the cancel contract is owner-only.)
+    assert cond.triggered and cond.ok
+    assert sim.now == 5.0
+    assert t2 in cond.value
+
+
+def test_allof_with_cancelled_child_never_resurrects():
+    sim = Simulator()
+    t1 = sim.timeout(1.0)
+    t2 = sim.timeout(2.0)
+    cond = AllOf(sim, [t1, t2])
+    t2.cancel()
+    sim.run_all()
+    # t2 will never trigger, so the AllOf stays pending forever — but it
+    # must not half-fire, and the queue must drain cleanly.
+    assert not cond.triggered
+    assert sim.now == 1.0
+
+
+def test_cancel_drops_condition_callback_without_leak():
+    sim = Simulator()
+    e = Event(sim)
+    t = sim.timeout(3.0)
+    AnyOf(sim, [e, t])
+    assert len(t.callbacks) == 1  # the condition's _check registration
+    t.cancel()
+    assert t.callbacks is None  # registration gone with the event
+    e.succeed("v")
+    sim.run_all()
+    assert sim.now == 0.0
+
+
+def test_recycled_timeout_cannot_resurrect_condition():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    cond = AnyOf(sim, [t])
+    t.cancel()
+    # The pool re-arms the same object for an unrelated purpose; the old
+    # condition must not observe its completion.
+    t2 = sim.timeout(0.5, value="other")
+    assert t2 is t
+    sim.run_all()
+    assert not cond.triggered
+    assert sim.now == 0.5
+
+
+# -- cancel vs Process.kill ----------------------------------------------------
+def test_kill_removes_waiter_registration():
+    sim = Simulator()
+    gate = Event(sim)
+
+    def waiter():
+        yield gate
+
+    p = sim.process(waiter())
+    sim.run(until=0.0)  # let it reach the yield
+    assert len(gate.callbacks) == 1
+    p.kill()
+    assert gate.callbacks == []  # no leaked callback
+    gate.succeed("late")
+    sim.run_all()
+    assert p.triggered and p.ok  # killed quietly, not resumed by the gate
+
+
+def test_kill_process_waiting_on_cancelled_timeout():
+    sim = Simulator()
+    hold = sim.timeout(4.0)
+
+    def waiter():
+        yield hold
+
+    p = sim.process(waiter())
+    sim.run(until=0.0)
+    hold.cancel()  # waiter is now stranded on a dead event
+    p.kill()  # must not raise despite target.callbacks is None
+    sim.run_all()
+    assert p.triggered and p.ok
+    assert sim.now == 0.0
+
+
+def test_kill_runs_finally_blocks():
+    sim = Simulator()
+    cleaned = []
+
+    def waiter():
+        try:
+            yield sim.timeout(10.0)
+        finally:
+            cleaned.append(True)
+
+    p = sim.process(waiter())
+    sim.run(until=0.0)
+    p.kill()
+    assert cleaned == [True]
+
+
+def test_kill_then_interrupt_is_error():
+    sim = Simulator()
+
+    def waiter():
+        yield sim.timeout(1.0)
+
+    p = sim.process(waiter())
+    sim.run(until=0.0)
+    p.kill()
+    with pytest.raises(RuntimeError):
+        p.interrupt("too late")
+
+
+def test_cancel_unscheduled_and_double_cancel_are_noops():
+    sim = Simulator()
+    e = Event(sim)
+    e.cancel()  # never scheduled: no-op
+    assert sim.events_cancelled == 0
+    t = sim.timeout(1.0)
+    t.cancel()
+    t.cancel()  # second cancel: no-op, not double-counted
+    assert sim.events_cancelled == 1
+
+
+def test_cancelled_event_visible_in_census_counter():
+    sim = Simulator()
+    for _ in range(3):
+        sim.timeout(1.0).cancel()
+    sim.timeout(2.0)
+    sim.run_all()
+    assert sim.events_cancelled == 3
+    assert sim.events_processed == 1

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Engine benchmark gate: record and compare the committed perf trajectory.
+
+``BENCH_engine.json`` holds a *trajectory* — an ordered list of labelled
+measurements of the canonical engine scenarios (:mod:`repro.perf.benches`).
+This tool has three modes:
+
+record
+    ``python tools/check_bench.py --record --label "post-PR5 fast paths"``
+    appends a fresh measurement to the trajectory.
+
+compare (default)
+    Runs the scenarios fresh and compares against the *latest* committed
+    entry: the deterministic fields (simulated clock, events processed,
+    events cancelled) must match **exactly** — a mismatch means the engine's
+    behaviour changed, not just its speed — and wall-clock must not regress
+    by more than ``--tolerance`` (default 15%).  Wall-clock baselines are
+    machine-dependent; on foreign hardware (CI) pass a generous tolerance
+    and rely on the exact deterministic-field comparison, which is
+    machine-independent.
+
+trajectory
+    ``--trajectory`` prints the committed history and the first->last
+    speed-up per bench; ``--require-speedup X`` additionally gates the
+    micro-benches at >= X (the PR-5 acceptance bar is 1.3).
+
+Exit status is non-zero on any regression/mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.perf.benches import BENCHES, MICRO_BENCHES, time_bench  # noqa: E402
+
+DEFAULT_BASELINE = REPO / "BENCH_engine.json"
+
+#: deterministic outcome fields compared exactly between runs
+_EXACT_FIELDS = ("sim_now", "events", "cancelled")
+
+
+def measure(repeats: int) -> dict:
+    """Time every scenario; returns name -> {wall, sim_now, events, ...}."""
+    results = {}
+    for name in BENCHES:
+        reps = repeats if name in MICRO_BENCHES else max(2, repeats // 2)
+        wall, outcome = time_bench(name, repeats=reps)
+        results[name] = {"wall": wall, **outcome}
+        print(f"  {name:>16}: {wall * 1000:8.2f} ms  "
+              f"(events={outcome['events']}, cancelled={outcome['cancelled']})")
+    return results
+
+
+def load_trajectory(path: Path) -> list:
+    if not path.exists():
+        return []
+    return json.loads(path.read_text())["trajectory"]
+
+
+def save_trajectory(path: Path, trajectory: list) -> None:
+    payload = {"benches": list(BENCHES), "trajectory": trajectory}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def compare(fresh: dict, base_entry: dict, tolerance: float) -> int:
+    """0 if fresh matches the baseline entry; 1 on mismatch/regression."""
+    failures = 0
+    base = base_entry["results"]
+    print(f"\ncomparing against baseline entry {base_entry['label']!r}:")
+    for name, cur in fresh.items():
+        ref = base.get(name)
+        if ref is None:
+            print(f"  {name:>16}: NEW (no baseline)")
+            continue
+        for fld in _EXACT_FIELDS:
+            if cur.get(fld) != ref.get(fld):
+                print(f"  {name:>16}: DETERMINISM MISMATCH {fld}: "
+                      f"{cur.get(fld)!r} != baseline {ref.get(fld)!r}")
+                failures += 1
+        ratio = cur["wall"] / ref["wall"] if ref["wall"] else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = f"REGRESSION (> {1.0 + tolerance:.2f}x allowed)"
+            failures += 1
+        print(f"  {name:>16}: {cur['wall'] * 1000:8.2f} ms vs "
+              f"{ref['wall'] * 1000:8.2f} ms baseline ({ratio:.2f}x) {verdict}")
+    return 1 if failures else 0
+
+
+def show_trajectory(trajectory: list, require_speedup: float | None) -> int:
+    if len(trajectory) < 1:
+        print("no committed trajectory entries")
+        return 1
+    for entry in trajectory:
+        walls = "  ".join(
+            f"{n}={r['wall'] * 1000:.2f}ms" for n, r in sorted(entry["results"].items())
+        )
+        print(f"{entry['label']:>28}: {walls}")
+    if len(trajectory) < 2:
+        return 0
+    first, last = trajectory[0]["results"], trajectory[-1]["results"]
+    failures = 0
+    print("\nfirst -> last speed-up:")
+    for name in BENCHES:
+        if name not in first or name not in last:
+            continue
+        speedup = first[name]["wall"] / last[name]["wall"]
+        gate = ""
+        if require_speedup is not None and name in MICRO_BENCHES:
+            ok = speedup >= require_speedup
+            gate = f"  [{'PASS' if ok else 'FAIL'} >= {require_speedup:.2f}x]"
+            failures += 0 if ok else 1
+        print(f"  {name:>16}: {speedup:.2f}x{gate}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="trajectory file (default: BENCH_engine.json)")
+    parser.add_argument("--record", action="store_true",
+                        help="append a fresh measurement instead of comparing")
+    parser.add_argument("--label", default="unlabelled",
+                        help="label for the recorded entry")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed wall-clock regression fraction (default 0.15)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of repetitions per micro-bench (default 5)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode for CI: best-of-2 repetitions")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="print the committed trajectory and speed-ups")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="with --trajectory: gate micro-bench first->last speed-up")
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.baseline)
+    if args.trajectory:
+        return show_trajectory(trajectory, args.require_speedup)
+
+    repeats = 2 if args.smoke else args.repeats
+    print(f"measuring engine benches (best of {repeats}):")
+    fresh = measure(repeats)
+
+    if args.record:
+        trajectory.append({
+            "label": args.label,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "results": fresh,
+        })
+        save_trajectory(args.baseline, trajectory)
+        print(f"\nrecorded entry {args.label!r} ({len(trajectory)} total) "
+              f"to {args.baseline}")
+        return 0
+
+    if not trajectory:
+        print(f"no baseline at {args.baseline}; run with --record first",
+              file=sys.stderr)
+        return 2
+    return compare(fresh, trajectory[-1], args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
