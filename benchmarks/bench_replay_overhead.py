@@ -1,0 +1,148 @@
+"""Recording overhead: what the time-travel debugger costs.
+
+The contract mirrors the other hook-site benches
+(``bench_obs_overhead.py``, ``bench_resilience_overhead.py``,
+``bench_sanitize_overhead.py``):
+
+* **disabled** (``replay=None``) — every hook site is one ``is not None``
+  test on a cached recorder reference, so a plain run pays nothing for
+  the subsystem's existence: simulated time is bit-identical run to run
+  and the guard itself is nanoseconds (micro-benchmark below);
+* **enabled** — the checkpoint ring's barriers and snapshot copies cost
+  real simulated and wall-clock time; both are reported and loosely
+  bounded so a regression that makes recorded runs pathologically slow
+  fails loudly;
+* **replay** — seeking to the middle of a recording costs about one
+  partial re-execution (determinism is the seek mechanism).
+"""
+
+import time
+
+from repro.apps.gauss_seidel import gauss_seidel_worker
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.replay import ReplayConfig, ReplaySession, WorkloadSpec, record
+
+GS_PLAIN_ARGS = (48, 4, 7, False)  # n, sweeps, seed, verify
+GS_CK_ARGS = (48, 4, 7, False)
+GS_SPEC = WorkloadSpec(
+    module="repro.resilience.workloads",
+    attr="resilient_gauss_seidel",
+    args=GS_CK_ARGS,
+    ck_style=True,
+    label="gauss-seidel",
+)
+REPEATS = 3
+
+
+def _run_plain(replay) -> "tuple[float, float, int]":
+    """(best wall seconds, simulated elapsed, events) for gauss-seidel."""
+    best = float("inf")
+    elapsed_sim = events = None
+    for _ in range(REPEATS):
+        config = ClusterConfig(
+            platform=get_platform("sunos"), n_processors=4, replay=replay
+        )
+        start = time.perf_counter()
+        result = run_parallel(config, gauss_seidel_worker, args=GS_PLAIN_ARGS)
+        best = min(best, time.perf_counter() - start)
+        if elapsed_sim is None:
+            elapsed_sim, events = result.elapsed, result.sim_events
+        else:
+            assert result.elapsed == elapsed_sim  # bit-identical reruns
+    return best, elapsed_sim, events
+
+
+def test_disabled_path_is_bit_identical_and_cheap():
+    off_wall, off_sim, off_events = _run_plain(None)
+    # A workload that never calls api.checkpoint() exercises every hook
+    # site's guard but records nothing: simulated time may not move by a
+    # single bit with recording enabled.
+    on_wall, on_sim, on_events = _run_plain(ReplayConfig())
+    print(f"\ngauss-seidel n={GS_PLAIN_ARGS[0]} p=4: "
+          f"replay=None {off_wall:.3f}s wall / {off_sim:.6f}s sim, "
+          f"replay=on {on_wall:.3f}s wall / {on_sim:.6f}s sim")
+    assert on_sim == off_sim
+    assert on_events == off_events
+    assert on_wall / off_wall < 1.5, (
+        f"idle recorder costs x{on_wall / off_wall:.2f} wall"
+    )
+
+
+def test_recorded_run_is_loosely_bounded():
+    from repro.resilience.workloads import resilient_gauss_seidel
+
+    config = ClusterConfig(platform=get_platform("sunos"), n_processors=4)
+    start = time.perf_counter()
+    base = run_parallel(
+        config,
+        lambda api, *a: resilient_gauss_seidel(api, None, *a),
+        args=GS_CK_ARGS,
+    )
+    plain_wall = time.perf_counter() - start
+
+    rec_config = ClusterConfig(
+        platform=get_platform("sunos"), n_processors=4,
+        replay=ReplayConfig(),
+    )
+    start = time.perf_counter()
+    recording = record(rec_config, spec=GS_SPEC)
+    rec_wall = time.perf_counter() - start
+
+    sim_ratio = recording.final["elapsed"] / base.elapsed
+    wall_ratio = rec_wall / plain_wall
+    print(f"\ngauss-seidel n={GS_CK_ARGS[0]} p=4: "
+          f"plain {base.elapsed * 1e3:.3f} ms sim / {plain_wall:.3f}s wall, "
+          f"recorded {recording.final['elapsed'] * 1e3:.3f} ms sim / "
+          f"{rec_wall:.3f}s wall "
+          f"(sim x{sim_ratio:.2f}, wall x{wall_ratio:.2f})")
+    # Per-sweep ring checkpoints add two barriers each; they must stay a
+    # small multiple of the app, not dominate it.
+    assert sim_ratio < 3.0, f"recording sim cost x{sim_ratio:.2f}"
+    assert wall_ratio < 10.0, f"recording wall cost x{wall_ratio:.2f}"
+
+
+def test_seek_costs_about_one_partial_rerun():
+    config = ClusterConfig(
+        platform=get_platform("sunos"), n_processors=4,
+        replay=ReplayConfig(),
+    )
+    start = time.perf_counter()
+    recording = record(config, spec=GS_SPEC)
+    record_wall = time.perf_counter() - start
+
+    session = ReplaySession(recording)
+    start = time.perf_counter()
+    session.seek(recording.end_time / 2)
+    seek_wall = time.perf_counter() - start
+
+    ratio = seek_wall / record_wall
+    print(f"\nrecord {record_wall:.3f}s wall, "
+          f"seek-to-midpoint {seek_wall:.3f}s wall (x{ratio:.2f})")
+    # Seeking replays ~half the run (plus launch): well under two fulls.
+    assert ratio < 2.0, f"seek costs x{ratio:.2f} of a full recording"
+
+
+def test_disabled_guard_is_cheap():
+    """The disabled-mode hook is one `x is not None` test — measure it."""
+    config = ClusterConfig(n_processors=2, replay=None)
+    from repro.dse.cluster import Cluster
+
+    replay = Cluster(config).replay
+    assert replay is None  # the shape every kernel/api hook relies on
+    n = 1_000_000
+
+    start = time.perf_counter()
+    for _ in range(n):
+        if replay is not None:
+            raise AssertionError("unreachable")
+    guarded = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(n):
+        pass
+    empty = time.perf_counter() - start
+
+    per_hook_ns = (guarded - empty) / n * 1e9
+    print(f"\ndisabled-mode guard: {per_hook_ns:.1f} ns per hook site")
+    assert per_hook_ns < 500, f"guard costs {per_hook_ns:.0f} ns — not zero-cost"

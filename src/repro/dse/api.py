@@ -228,13 +228,25 @@ class ParallelAPI:
         saved to stable storage together with a snapshot of this kernel's
         home slice of global memory.  After a crash the resilient runner
         re-invokes every rank with the committed ``state`` and the restored
-        global memory.  A no-op (no events, no messages) when resilience is
-        disabled, so workloads can call it unconditionally.
+        global memory.  A no-op (no events, no messages) when both
+        resilience and replay recording are disabled, so workloads can call
+        it unconditionally.
+
+        With replay recording on (``ClusterConfig(replay=...)``) the same
+        call also feeds the record/replay debugger's checkpoint ring: when
+        resilience is active the recorder piggybacks on its snapshots (no
+        extra barriers); otherwise the recorder runs the two-phase barrier
+        protocol itself (see :mod:`repro.replay`).
         """
         res = self.kernel._res
-        if res is None:
+        if res is not None:
+            # The recorder (if any) piggybacks inside res.checkpoint.
+            yield from res.checkpoint(self, state)
             return
-        yield from res.checkpoint(self, state)
+        rec = self.kernel._replay
+        if rec is None:
+            return
+        yield from rec.checkpoint(self, state)
 
     # -- misc ----------------------------------------------------------------
     def sleep(self, seconds: float) -> Generator[Event, Any, None]:

@@ -28,12 +28,15 @@ __all__ = ["Cluster"]
 class Cluster:
     """One fully wired simulated DSE cluster."""
 
-    def __init__(self, config: ClusterConfig):
+    def __init__(self, config: ClusterConfig, start_time: float = 0.0):
+        # ``start_time`` restarts the simulated clock mid-history: the
+        # replay debugger's snapshot-restore path builds a fresh cluster
+        # whose clock begins at the checkpoint's commit time.
         self.config = config
-        self.sim = Simulator()
+        self.sim = Simulator(start_time=start_time)
         self.rng = RandomStreams(config.seed)
         from ..obs import MetricsSampler, SpanRecorder
-        from ..sim.monitor import Tracer
+        from ..sim.monitor import Tracer, StatSet
 
         #: per-message trace (populated only when config.trace is set)
         self.tracer = Tracer(enabled=config.trace)
@@ -61,6 +64,17 @@ class Cluster:
             from ..resilience.manager import ResilienceManager
 
             self.resilience = ResilienceManager(self, config.resilience)
+        #: checkpoint observability (size / write latency / ring churn);
+        #: always present so hook sites need no existence checks
+        self.ckpt_stats = StatSet("ckpt")
+        #: record/replay recorder (None when config.replay is None).  Must
+        #: exist before the kernels — gmem and kernel capture the reference
+        #: at construction time (the ``is not None`` pattern).
+        self.replay = None
+        if config.replay is not None:
+            from ..replay.recorder import ReplayRecorder
+
+            self.replay = ReplayRecorder(self, config.replay)
 
         n_machines = config.machines_used
         self.network = build_network(self.sim, self.rng, n_machines, config.fabric)
@@ -101,6 +115,8 @@ class Cluster:
             sampler.register_statset("san", self.sanitizer.stats)
         if self.resilience is not None:
             sampler.register_statset("res", self.resilience.stats)
+        if self.resilience is not None or self.replay is not None:
+            sampler.register_statset("ckpt", self.ckpt_stats)
         if hasattr(fabric, "utilization"):
             sampler.register("bus.utilization", lambda: fabric.utilization.level)
         if hasattr(fabric, "collision_rate"):
@@ -244,4 +260,12 @@ class Cluster:
                 "barriers_reconfigured",
             ):
                 out[f"res.{key}"] = res.counter(key).value
+        if self.resilience is not None or self.replay is not None:
+            ckpt = self.ckpt_stats
+            out["ckpt.snapshots"] = ckpt.counter("snapshots").value
+            out["ckpt.commits"] = ckpt.counter("commits").value
+            out["ckpt.bytes"] = ckpt.tally("snapshot_bytes").total
+        if self.replay is not None:
+            out["ckpt.ring_retained"] = len(self.replay.ring)
+            out["ckpt.ring_evictions"] = self.replay.ring.evictions
         return out

@@ -75,6 +75,14 @@ class ClusterConfig:
     #: failure detection, crash/partition campaigns, and checkpoint/restart
     #: recovery.  Requires the datagram transport and home coherence.
     resilience: Any = None
+    #: record/replay debugger (see repro.replay / docs/debugging.md):
+    #: ``None`` off (the hooks cost one cached ``is not None`` guard and
+    #: simulated time is bit-identical), or a
+    #: :class:`repro.replay.ReplayConfig` to record a bounded checkpoint
+    #: ring + event-log tail that ``dse-experiments replay`` can seek
+    #: into.  Requires the home coherence policy (snapshots copy home
+    #: slices, like resilience checkpoints).
+    replay: Any = None
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -127,6 +135,20 @@ class ClusterConfig:
                     "resilience requires the home coherence policy "
                     f"(configured: {self.coherence!r})"
                 )
+        if self.replay is not None:
+            from ..replay.config import ReplayConfig
+
+            if not isinstance(self.replay, ReplayConfig):
+                raise ConfigurationError(
+                    "replay must be None or a ReplayConfig, "
+                    f"got {type(self.replay).__name__}"
+                )
+            if self.coherence != "home":
+                raise ConfigurationError(
+                    "replay recording requires the home coherence policy "
+                    f"(configured: {self.coherence!r})"
+                )
+            self.replay.validate()
 
     @property
     def sanitize_modes(self) -> frozenset:

@@ -99,10 +99,15 @@ class GlobalMemoryManager:
         from ..sanitize import NULL_SANITIZER
 
         self._san_race = getattr(kernel.cluster, "sanitizer", NULL_SANITIZER).race
-        #: resilience manager (None when disabled); when on, the high-water
-        #: mark of the local slice is tracked so checkpoints copy only the
-        #: used prefix
+        #: resilience manager (None when disabled); when it — or the replay
+        #: recorder — is on, the high-water mark of the local slice is
+        #: tracked so checkpoints copy only the used prefix.  The combined
+        #: flag is resolved once: the write hot path tests one bool.
         self._res = getattr(kernel.cluster, "resilience", None)
+        self._track_hw = (
+            self._res is not None
+            or getattr(kernel.cluster, "replay", None) is not None
+        )
         self._hw = 0
 
     # -- address arithmetic -------------------------------------------------
@@ -168,7 +173,7 @@ class GlobalMemoryManager:
         lo = addr - self.my_lo
         hi = lo + len(values)
         self.storage[lo:hi] = values
-        if self._res is not None and hi > self._hw:
+        if self._track_hw and hi > self._hw:
             self._hw = hi
 
     def _owns(self, addr: int, nwords: int) -> bool:

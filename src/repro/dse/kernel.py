@@ -42,6 +42,9 @@ class DSEKernel:
         self.services: Dict[MsgType, Callable[[DSEMessage], Generator]] = {}
         #: resilience manager (None when disabled) and liveness state
         self._res = getattr(cluster, "resilience", None)
+        #: replay recorder (None when disabled) — cached so the checkpoint
+        #: hook's disabled path is one attribute load + identity test
+        self._replay = getattr(cluster, "replay", None)
         self.alive = True
         #: bumped on every reboot; lets the monitor tell a fast restart
         #: from a still-running incarnation

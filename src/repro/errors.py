@@ -13,6 +13,8 @@ __all__ = [
     "ProcessManagementError",
     "KernelUnavailableError",
     "ResilienceError",
+    "ReplayError",
+    "ReplayDivergence",
     "SSIError",
     "ApplicationError",
 ]
@@ -56,6 +58,18 @@ class KernelUnavailableError(DSEError):
 
 class ResilienceError(DSEError):
     """Unrecoverable failure inside the resilience subsystem itself."""
+
+
+class ReplayError(DSEError):
+    """Record/replay debugger failures (bad seek target, missing snapshot)."""
+
+
+class ReplayDivergence(ReplayError):
+    """A replayed run did not reproduce the recording bit-identically.
+
+    Raised when a checkpoint waypoint or the final state of a replay differs
+    from what the recording captured — the one error that must never happen
+    while the simulation stays a pure function of its config."""
 
 
 class SSIError(ReproError):

@@ -41,6 +41,15 @@ callback fan-out histogram (see :mod:`repro.perf` and
     dse-experiments profile-engine --workload gauss-seidel --processors 6
     dse-experiments profile-engine --bench ps_churn
 
+The ``replay`` subcommand records a run into a checkpoint ring and lets
+you seek/inspect/resume any simulated instant of it; ``live`` streams a
+running simulation's vitals as JSON lines (see :mod:`repro.replay` and
+``docs/debugging.md``)::
+
+    dse-experiments replay --workload gauss-seidel --at 0.002 --resume
+    dse-experiments replay --load run.replay --worst api.gm_read
+    dse-experiments live --workload gauss-seidel --out live.jsonl
+
 Figure regeneration accepts ``--jobs N`` to fan independent figures across
 worker processes and reuses prior runs through the content-addressed
 result cache (``--no-cache`` bypasses it).
@@ -117,18 +126,34 @@ def _trace_main(argv: List[str]) -> int:
     )
     result = run_parallel(config, worker, args=worker_args)
     cluster = result.cluster
-    n_events = write_chrome_trace(cluster.obs, args.out, cluster=cluster)
-    dropped = f" ({cluster.obs.dropped} spans dropped past limit)" if cluster.obs.dropped else ""
     print(
         f"{args.workload} p={args.processors} on {args.platform}: "
         f"elapsed {result.elapsed:.6f}s simulated"
     )
-    print(f"wrote {n_events} trace events to {args.out}{dropped}")
+    status = 0
+    if not cluster.obs.spans:
+        # Nothing recorded — an empty trace file would only mislead.
+        print(
+            f"no spans were recorded, so {args.out} was not written "
+            "(raise --span-limit, or check that the workload ran any work)"
+        )
+        status = 1
+    else:
+        n_events = write_chrome_trace(cluster.obs, args.out, cluster=cluster)
+        dropped = f" ({cluster.obs.dropped} spans dropped past limit)" if cluster.obs.dropped else ""
+        print(f"wrote {n_events} trace events to {args.out}{dropped}")
     if args.metrics:
-        writer = write_metrics_jsonl if args.metrics.endswith(".jsonl") else write_metrics_csv
-        n_rows = writer(cluster.metrics, args.metrics)
-        print(f"wrote {n_rows} metric samples to {args.metrics}")
-    return 0
+        if cluster.metrics is None or not cluster.metrics.samples_taken:
+            print(
+                f"no metric samples were taken, so {args.metrics} was not "
+                "written (pass a --metrics-interval shorter than the run)"
+            )
+            status = 1
+        else:
+            writer = write_metrics_jsonl if args.metrics.endswith(".jsonl") else write_metrics_csv
+            n_rows = writer(cluster.metrics, args.metrics)
+            print(f"wrote {n_rows} metric samples to {args.metrics}")
+    return status
 
 
 def _profile_engine_main(argv: List[str]) -> int:
@@ -202,6 +227,14 @@ def main(argv: List[str] | None = None) -> int:
         from ..resilience.cli import resilience_main
 
         return resilience_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from ..replay.cli import replay_main
+
+        return replay_main(argv[1:])
+    if argv and argv[0] == "live":
+        from ..replay.cli import live_main
+
+        return live_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="dse-experiments",
         description="Regenerate the tables/figures of the DSE/SSI paper (ICPP 1999).",

@@ -80,12 +80,15 @@ def event_log(tracer: Tracer, limit: int = 50) -> str:
     return "\n".join(lines)
 
 
-def span_census(recorder, sim=None) -> str:
+def span_census(recorder, sim=None, ckpt=None) -> str:
     """Per-name span counts and total durations from a
     :class:`repro.obs.SpanRecorder` (the cross-layer causal trace).
 
     Pass the run's :class:`~repro.sim.core.Simulator` to append the engine
-    footer (events processed / lazily cancelled) under the table.
+    footer (events processed / lazily cancelled) under the table, and the
+    cluster's ``ckpt_stats`` :class:`~repro.sim.monitor.StatSet` to append
+    checkpoint overhead (snapshot count / bytes / write latency) — so
+    recording cost shows up in the same census as everything else.
     """
     if not recorder.spans:
         return "no spans captured (was obs_trace=True set?)"
@@ -103,4 +106,14 @@ def span_census(recorder, sim=None) -> str:
             f"\nengine: {sim.events_processed} events processed, "
             f"{sim.events_cancelled} lazily cancelled"
         )
+    if ckpt is not None:
+        snaps = ckpt.counter("snapshots").value
+        if snaps:
+            size = ckpt.tally("snapshot_bytes")
+            latency = ckpt.tally("write_latency")
+            out += (
+                f"\nckpt: {snaps} snapshots, "
+                f"{size.total:.0f} bytes (mean {size.mean:.0f}), "
+                f"write latency mean {latency.mean:.6g}s"
+            )
     return out

@@ -1,0 +1,44 @@
+"""Time-travel debugging: record/replay with a checkpoint ring.
+
+The missing ops story for the paper's SSI environment: "what was the whole
+cluster doing at simulated time T?".  This package composes three things
+PRs 1–4 already built — cross-layer spans (:mod:`repro.obs`), coordinated
+barrier-aligned checkpoints (:mod:`repro.resilience`), and a simulator
+whose runs are pure functions of their config — into a debugger:
+
+* **record** — run under ``ClusterConfig(replay=ReplayConfig(...))``: a
+  bounded ring of consistent snapshots + fingerprinted waypoints + an
+  event-log tail, bundled into a :class:`Recording` (optionally saved as a
+  JSON manifest).
+* **replay** — :class:`ReplaySession` seeks any simulated instant by
+  deterministic re-execution (timing-exact, waypoint-verified;
+  :class:`~repro.errors.ReplayDivergence` on mismatch) or jumps into a
+  ring snapshot (solution-exact fast path).  Spans link to replay points
+  via :meth:`Recording.anchor`, so a p999 outlier jumps to its moment.
+* **live** — :func:`live_run` streams metrics/topology/span summaries as
+  JSON lines (file and/or TCP) while a long run executes.
+
+``dse-experiments replay`` / ``dse-experiments live`` are the CLI faces;
+see ``docs/debugging.md`` for the walkthrough.
+"""
+
+from .config import ReplayConfig
+from .recording import Recording, ReplayAnchor, WorkloadSpec, record
+from .recorder import ReplayRecorder
+from .ring import CheckpointRing, RingSlot
+from .session import ReplaySession
+from .live import LiveSink, live_run
+
+__all__ = [
+    "ReplayConfig",
+    "Recording",
+    "ReplayAnchor",
+    "WorkloadSpec",
+    "record",
+    "ReplayRecorder",
+    "CheckpointRing",
+    "RingSlot",
+    "ReplaySession",
+    "LiveSink",
+    "live_run",
+]

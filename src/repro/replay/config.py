@@ -1,0 +1,58 @@
+"""Configuration for the record/replay debugger.
+
+A :class:`ReplayConfig` attached to :class:`~repro.dse.config.ClusterConfig`
+turns on *recording*: the run keeps a bounded ring of barrier-aligned
+cluster snapshots plus an event-log tail, enough to seek back to any
+simulated instant afterwards.  Like every other subsystem config in the
+repo it is a frozen dataclass so a recording's provenance is hashable and
+serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["ReplayConfig"]
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Tuning knobs for recording mode.
+
+    ring_size
+        How many committed snapshots the checkpoint ring retains; older
+        ones are evicted (their waypoint fingerprints are kept forever —
+        they cost a hash, not a copy).
+    snapshot_interval
+        Minimum simulated seconds between *retained* snapshots.  Apps call
+        ``api.checkpoint(...)`` at their own cadence; the recorder skips
+        ring retention for calls that arrive sooner than this (it still
+        fingerprints them as waypoints).  ``0.0`` retains every call.
+    charge_bps
+        Simulated stable-storage bandwidth charged per snapshot slice.
+        The default ``0.0`` makes recording free in simulated time, so a
+        recorded run stays timing-comparable with an unrecorded one; set
+        it to model checkpoint I/O cost (the resilience subsystem charges
+        its own ``checkpoint_bps`` when both are active).
+    log_limit
+        Cap on the event-log tail (entries since the last retained
+        snapshot); ``None`` is unbounded.
+    """
+
+    ring_size: int = 4
+    snapshot_interval: float = 0.0
+    charge_bps: float = 0.0
+    log_limit: Optional[int] = 4096
+
+    def validate(self) -> None:
+        if self.ring_size < 1:
+            raise ConfigurationError("replay ring_size must be >= 1")
+        if self.snapshot_interval < 0:
+            raise ConfigurationError("replay snapshot_interval must be >= 0")
+        if self.charge_bps < 0:
+            raise ConfigurationError("replay charge_bps must be >= 0")
+        if self.log_limit is not None and self.log_limit < 0:
+            raise ConfigurationError("replay log_limit must be >= 0 or None")

@@ -1,0 +1,139 @@
+"""Bounded checkpoint ring: the recorder's snapshot store.
+
+Where :class:`repro.resilience.checkpoint.CheckpointStore` keeps exactly
+the *latest* committed version (all a rollback ever needs), the replay
+ring keeps the last ``ring_size`` committed snapshots so a debugger can
+jump near any recent instant.  Slots are keyed by commit *sequence
+number* — a monotonic ordinal that stays unique even when a resilience
+rollback makes checkpoint version labels repeat.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["RingSlot", "CheckpointRing", "fingerprint_parts"]
+
+
+def _canon_state(state: Any) -> bytes:
+    """Canonical bytes for an application checkpoint state."""
+    return json.dumps(state, sort_keys=True, default=repr).encode()
+
+
+def fingerprint_parts(per_rank: "Dict[int, tuple]") -> str:
+    """sha256 over every rank's (state, slice) pair, in rank order.
+
+    This is the waypoint identity: two runs that produce the same
+    fingerprint at the same simulated time passed through the same
+    consistent cut bit-for-bit.
+    """
+    h = hashlib.sha256()
+    for rank in sorted(per_rank):
+        state, data = per_rank[rank]
+        h.update(b"r%d:" % rank)
+        h.update(_canon_state(state))
+        h.update(b":")
+        h.update(np.ascontiguousarray(data).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class RingSlot:
+    """One committed, consistent snapshot of the whole cluster."""
+
+    seq: int                      #: commit ordinal (0, 1, 2, ... over the run)
+    version: int                  #: checkpoint version label the app saw
+    time: float                   #: simulated time the commit completed
+    states: Dict[int, Any]        #: rank -> application checkpoint state
+    slices: Dict[int, np.ndarray]  #: rank -> home global-memory slice copy
+    fingerprint: str = ""
+    retained: bool = True         #: False for waypoint-only (interval-skipped)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self.slices.values())
+
+
+class CheckpointRing:
+    """Pending-until-complete commit discipline over a bounded deque.
+
+    Ranks contribute their pieces between two barriers; when every rank of
+    a sequence has reported, the slot commits atomically.  Commit evicts
+    the oldest retained slot beyond ``ring_size`` but its lightweight
+    waypoint record (seq, time, fingerprint) survives in ``waypoints``.
+    """
+
+    def __init__(self, ring_size: int, world: int):
+        self.ring_size = ring_size
+        self.world = world
+        self.slots: List[RingSlot] = []      # committed, oldest first
+        self.waypoints: List[dict] = []      # every commit ever, oldest first
+        self.evictions = 0
+        self._pending: Dict[int, RingSlot] = {}  # seq -> slot being filled
+
+    def put_rank(
+        self,
+        seq: int,
+        version: int,
+        rank: int,
+        state: Any,
+        data: np.ndarray,
+        now: float,
+        retained: bool = True,
+    ) -> Optional[RingSlot]:
+        """Record one rank's piece; returns the slot on commit, else None.
+
+        ``retained`` must be consistent across the ranks of one sequence
+        (the recorder memoises the decision at the first rank's arrival);
+        it is read only when the slot is created.
+        """
+        slot = self._pending.get(seq)
+        if slot is None:
+            slot = self._pending[seq] = RingSlot(
+                seq=seq, version=version, time=now, states={}, slices={},
+                retained=retained,
+            )
+        slot.states[rank] = state
+        slot.slices[rank] = data
+        slot.time = now  # the cut completes when the last rank reports
+        if len(slot.states) < self.world:
+            return None
+        del self._pending[seq]
+        slot.fingerprint = fingerprint_parts(
+            {r: (slot.states[r], slot.slices[r]) for r in slot.states}
+        )
+        self.waypoints.append(
+            {
+                "seq": slot.seq,
+                "version": slot.version,
+                "time": slot.time,
+                "fingerprint": slot.fingerprint,
+                "nbytes": slot.nbytes,
+                "retained": slot.retained,
+            }
+        )
+        if slot.retained:
+            self.slots.append(slot)
+            while len(self.slots) > self.ring_size:
+                self.slots.pop(0)
+                self.evictions += 1
+        else:
+            slot.states = {}
+            slot.slices = {}
+        return slot
+
+    def nearest(self, time: float) -> Optional[RingSlot]:
+        """Latest retained slot with ``slot.time <= time`` (None if too early)."""
+        best = None
+        for slot in self.slots:
+            if slot.time <= time:
+                best = slot
+        return best
+
+    def __len__(self) -> int:
+        return len(self.slots)

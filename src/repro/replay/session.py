@@ -1,0 +1,304 @@
+"""Time-travel sessions: seek, step, and inspect a recorded run.
+
+A :class:`ReplaySession` reconstructs any simulated instant of a
+:class:`~repro.replay.recording.Recording`.  Two reconstruction paths,
+matching the two guarantees the repo already makes:
+
+**Deterministic re-execution** (:meth:`seek`) — the timing-exact path.
+Runs are pure functions of their :class:`ClusterConfig`, so re-launching
+the recorded workload under the *same* config and driving the event loop
+to ``T`` reproduces the recorded instant bit-for-bit, simulated clock
+included.  The live recorder carries the original recording as its
+*reference*: every checkpoint the replay re-commits is fingerprint- and
+time-compared against the recorded waypoint, so any divergence raises
+:class:`~repro.errors.ReplayDivergence` at the cut where it happened
+rather than as a silently different answer at the end.  Seeking backward
+just relaunches — re-execution is cheap precisely because the simulator
+is fast.
+
+**Snapshot restore** (:meth:`restore`) — the solution-exact fast path.
+Like the resilience rollback it reuses, it rebuilds a fresh cluster whose
+clock starts at a retained ring snapshot's commit time, rewrites every
+home global-memory slice from the snapshot, and re-invokes each rank with
+its committed checkpoint state (the ``worker(api, ck, *args)`` shape of
+:func:`repro.resilience.runner.run_resilient`).  It skips the prefix of
+the run entirely, so it claims bit-identical *solutions* only — bootstrap
+traffic and barrier stagger differ from the original timeline, exactly as
+PR 4's rollback contract documents.
+
+The inspector methods (:meth:`state`, :meth:`queues`, :meth:`gmem`,
+:meth:`spans`, :meth:`tail`) read the reconstructed cluster without
+scheduling any events, so inspection never perturbs the timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..dse.runtime import LaunchedRun, RunResult, launch_parallel
+from ..errors import ReplayDivergence, ReplayError
+from ..sim.core import Event
+from .recording import Recording, ReplayAnchor, WorkloadSpec, fingerprint_returns
+from .ring import RingSlot
+
+__all__ = ["ReplaySession"]
+
+
+def _restored_entry(api, worker, ck, args) -> Generator[Event, Any, Any]:
+    """DSE-process wrapper giving workers the ``(api, ck, *args)`` shape."""
+    value = yield from worker(api, ck, *args)
+    return value
+
+
+def _restore_master(spec: WorkloadSpec, slot: RingSlot) -> Callable:
+    """Supervisor that re-invokes every rank from its checkpoint state."""
+    worker = spec.resolve()
+    args = spec.args
+
+    def master(api) -> Generator[Event, Any, Dict[int, Any]]:
+        cluster = api.kernel.cluster
+        procman = api.kernel.procman
+        handles = []
+        for rank in range(api.size):
+            handle = yield from procman.invoke(
+                cluster.placement(rank), _restored_entry, rank,
+                (worker, slot.states[rank], args),
+            )
+            handles.append(handle)
+        results = yield from procman.wait_all(handles)
+        return results
+
+    master.__name__ = f"restore:{spec.label or spec.attr}"
+    return master
+
+
+class ReplaySession:
+    """One debugger attached to one recording (see module docs)."""
+
+    def __init__(
+        self,
+        recording: Recording,
+        worker: Optional[Callable] = None,
+        args: tuple = (),
+    ):
+        self.recording = recording
+        #: in-memory workloads (no WorkloadSpec) supply the callable here
+        self._worker = worker
+        self._worker_args = args
+        self._launched: Optional[LaunchedRun] = None
+        #: True after :meth:`restore` — the timeline is then solution-exact
+        #: only, and finish() must not compare against the recording
+        self.restored = False
+
+    # -- launching ------------------------------------------------------------
+    def _entry(self):
+        spec = self.recording.spec
+        if spec is not None:
+            return spec.make_entry(None), spec.args
+        if self._worker is not None:
+            return self._worker, self._worker_args
+        raise ReplayError(
+            "recording has no WorkloadSpec and no worker was supplied — "
+            "pass worker= to ReplaySession for in-memory recordings"
+        )
+
+    def _launch(self) -> LaunchedRun:
+        entry, args = self._entry()
+        launched = launch_parallel(self.recording.config, entry, args=args)
+        # Every checkpoint the replay commits is verified against the
+        # recorded waypoints; a mismatch raises ReplayDivergence there.
+        launched.cluster.replay.reference = self.recording
+        return launched
+
+    @property
+    def cluster(self):
+        if self._launched is None:
+            raise ReplayError("no position yet — call seek()/restore() first")
+        return self._launched.cluster
+
+    @property
+    def now(self) -> float:
+        return self.cluster.sim.now
+
+    @property
+    def done(self) -> bool:
+        return self._launched is not None and self._launched.done
+
+    # -- movement -------------------------------------------------------------
+    def seek(self, at: float) -> float:
+        """Reconstruct the instant ``at`` (timing-exact); returns ``now``.
+
+        Clamped to ``[0, recording end]``.  Seeking backward (or after a
+        :meth:`restore`) relaunches the run from the start — deterministic
+        re-execution is the mechanism, snapshots are the safety net."""
+        at = min(max(at, 0.0), self.recording.end_time)
+        if self._launched is None or self.restored or self._launched.now > at:
+            self._launched = self._launch()
+            self.restored = False
+        self._launched.run_to(at)
+        return self.now
+
+    def seek_span(self, span_id: int) -> ReplayAnchor:
+        """Jump to the start of a recorded span; returns its anchor."""
+        anchor = self.recording.anchor(span_id)
+        self.seek(anchor.time)
+        return anchor
+
+    def step(self, n: int = 1) -> int:
+        """Advance by up to ``n`` events; returns how many ran."""
+        if self._launched is None or self.restored:
+            self.seek(0.0)
+        return self._launched.step(n)
+
+    def continue_to(self, at: float) -> float:
+        """Resume execution to simulated time ``at`` (alias of seek)."""
+        return self.seek(at)
+
+    def finish(self, verify: bool = True) -> RunResult:
+        """Run to completion; verify bit-identity against the recording.
+
+        With ``verify`` (default, and meaningless after :meth:`restore`):
+        the final return values' fingerprint, the elapsed simulated time,
+        and the end-of-run clock must all equal the recording's, else
+        :class:`ReplayDivergence`."""
+        if self._launched is None:
+            self.seek(0.0)
+        result = self._launched.finish()
+        if verify and not self.restored:
+            final = self.recording.final
+            fp = fingerprint_returns(result.returns)
+            if fp != final["fingerprint"]:
+                raise ReplayDivergence(
+                    "replayed run finished with different return values "
+                    f"(fingerprint {fp[:16]}… != recorded "
+                    f"{final['fingerprint'][:16]}…)"
+                )
+            if result.elapsed != final["elapsed"]:
+                raise ReplayDivergence(
+                    f"replayed run took {result.elapsed!r} simulated seconds, "
+                    f"recording took {final['elapsed']!r}"
+                )
+            end = result.cluster.sim.now
+            if end != final["end_time"]:
+                raise ReplayDivergence(
+                    f"replayed run ended at t={end!r}, recording at "
+                    f"t={final['end_time']!r}"
+                )
+        return result
+
+    # -- snapshot restore (solution-exact fast path) ---------------------------
+    def restore(
+        self, seq: Optional[int] = None, at: Optional[float] = None
+    ) -> float:
+        """Jump into a retained ring snapshot without re-executing the prefix.
+
+        ``seq`` picks a snapshot by sequence number; ``at`` picks the
+        nearest retained snapshot at or before that time; neither picks the
+        latest.  Requires a ck-style :class:`WorkloadSpec` (the workload
+        must know how to resume from its checkpoint state).  Solution-exact
+        only — see the module docs."""
+        recording = self.recording
+        spec = recording.spec
+        if spec is None or not spec.ck_style:
+            raise ReplayError(
+                "restore() needs a ck-style workload (worker(api, ck, *args) "
+                "that resumes from its checkpoint state); use seek() for "
+                "timing-exact re-execution instead"
+            )
+        if not recording.slots:
+            raise ReplayError(
+                "recording retains no snapshots (did the workload call "
+                "api.checkpoint()?)"
+            )
+        if seq is not None:
+            matches = [s for s in recording.slots if s.seq == seq]
+            if not matches:
+                kept = [s.seq for s in recording.slots]
+                raise ReplayError(
+                    f"snapshot seq {seq} is not retained (ring kept {kept}; "
+                    "older ones were evicted — raise ReplayConfig.ring_size)"
+                )
+            slot = matches[0]
+        elif at is not None:
+            slot = recording.nearest_slot(at)
+            if slot is None:
+                raise ReplayError(
+                    f"no retained snapshot at or before t={at:.9g} "
+                    f"(earliest is t={recording.slots[0].time:.9g}); "
+                    "seek() can still reach it by re-execution"
+                )
+        else:
+            slot = recording.slots[-1]
+        launched = LaunchedRun(
+            recording.config,
+            _restore_master(spec, slot),
+            start_time=slot.time,
+            unwrap_spmd=True,
+        )
+        # Rewrite every home slice from the snapshot before anything runs —
+        # the same restore the rollback RPC performs, minus the messages.
+        for rank in sorted(slot.slices):
+            kernel = launched.cluster.kernels[launched.cluster.placement(rank)]
+            kernel.gmem.restore_slice(slot.slices[rank])
+        rec = launched.cluster.replay
+        if rec is not None:
+            rec.note(
+                "restore",
+                {"seq": slot.seq, "time": slot.time, "nbytes": slot.nbytes},
+            )
+        self._launched = launched
+        self.restored = True
+        return self.now
+
+    # -- inspection (no events scheduled; never perturbs the timeline) ---------
+    def state(self) -> dict:
+        """Position summary: clock, progress, mode, next event."""
+        sim = self.cluster.sim
+        return {
+            "now": sim.now,
+            "done": self.done,
+            "mode": "restore" if self.restored else "replay",
+            "events_processed": sim.events_processed,
+            "events_cancelled": sim.events_cancelled,
+            "next_event_time": sim.peek(),
+            "end_time": self.recording.end_time,
+        }
+
+    def queues(self, limit: int = 10) -> list:
+        """The next ``limit`` pending events in dispatch order."""
+        return self.cluster.sim.queue_snapshot(limit)
+
+    def gmem(self, rank: int, offset: int = 0, nwords: int = 8):
+        """Copy of ``nwords`` words of rank's home slice, from ``offset``."""
+        kernels = self.cluster.kernels
+        if not (0 <= rank < len(kernels)):
+            raise ReplayError(f"rank {rank} out of range 0..{len(kernels) - 1}")
+        storage = kernels[self.cluster.placement(rank)].gmem.storage
+        return storage[offset : offset + nwords].copy()
+
+    def spans(
+        self,
+        name: Optional[str] = None,
+        window: float = 0.0,
+        limit: int = 20,
+    ) -> List[dict]:
+        """Recorded spans overlapping now ± ``window`` (newest first)."""
+        t = self.now
+        lo, hi = t - window, t + window
+        out = []
+        for s in self.recording.spans:
+            if name is not None and s["name"] != name:
+                continue
+            end = s["end"] if s["end"] is not None else s["start"]
+            if s["start"] <= hi and end >= lo:
+                out.append(s)
+        out.sort(key=lambda s: s["start"], reverse=True)
+        return out[:limit]
+
+    def tail(self) -> List[dict]:
+        """The event-log tail at the current position."""
+        if self._launched is not None:
+            rec = self._launched.cluster.replay
+            if rec is not None:
+                return list(rec.tail)
+        return list(self.recording.tail)

@@ -489,10 +489,20 @@ class ResilienceManager:
         # flushes first) global memory is quiescent.
         yield from api.barrier(f"res:ckpt:{version}:enter")
         snap = api.kernel.gmem.snapshot_slice()
-        yield from api.compute_seconds(max(snap.nbytes, 64) / self.config.checkpoint_bps)
+        latency = max(snap.nbytes, 64) / self.config.checkpoint_bps
+        yield from api.compute_seconds(latency)
         self.store.put(rank, version, state, snap)
         self._ckpt_next[rank] = version + 1
         self.stats.counter("checkpoints").increment()
+        ckpt = self.cluster.ckpt_stats
+        ckpt.counter("snapshots").increment()
+        ckpt.tally("snapshot_bytes").observe(snap.nbytes)
+        ckpt.tally("write_latency").observe(latency)
+        rec = self.cluster.replay
+        if rec is not None:
+            # Replay recording piggybacks on the resilience checkpoint: the
+            # ring shares this snapshot (no extra barriers, no extra cost).
+            rec.on_rank_snapshot(rank, version, state, snap, self.sim.now)
         # Commit barrier: nobody proceeds until the version is complete.
         yield from api.barrier(f"res:ckpt:{version}:commit")
 

@@ -506,6 +506,24 @@ class Simulator:
         self._drop_cancelled_head()
         return self._queue[0][0] if self._queue else float("inf")
 
+    def queue_snapshot(self, limit: Optional[int] = None) -> list:
+        """Dispatch-ordered view of pending events, for inspection only.
+
+        Returns up to ``limit`` tuples ``(time, priority, seq, label)`` in
+        the order :meth:`step` would dispatch them, skipping lazily
+        cancelled slots.  Used by the time-travel debugger's ``queues``
+        inspector (:mod:`repro.replay`); never called on a hot path, and
+        it neither pops nor reorders the live heap.
+        """
+        live = [entry for entry in self._queue if entry[3] is not None]
+        live.sort(key=lambda entry: entry[:3])
+        if limit is not None:
+            live = live[:limit]
+        return [
+            (entry[0], entry[1], entry[2], entry[3].name or type(entry[3]).__name__)
+            for entry in live
+        ]
+
     def step(self) -> None:
         """Process exactly one (non-cancelled) event."""
         self._drop_cancelled_head()

@@ -51,6 +51,36 @@ def test_wall_clock_allows_perf_counter(tmp_path):
     assert lint_source(tmp_path, source) == []
 
 
+def test_strict_clock_bans_perf_counter_in_replay_paths(tmp_path):
+    # Inside repro/replay even benchmark-grade timers are divergence bugs.
+    replay_dir = tmp_path / "repro" / "replay"
+    replay_dir.mkdir(parents=True)
+    path = replay_dir / "fixture.py"
+    path.write_text(
+        "import time\n"
+        "a = time.perf_counter()\n"
+        "b = time.perf_counter_ns()\n"
+        "c = time.process_time()\n"
+    )
+    errors = lint_repro.lint_file(path, tmp_path)
+    assert rules_of(errors) == ["wall-clock"] * 3
+    assert "pure function of the recording" in errors[0]
+
+
+def test_strict_clock_rule_is_suppressible_and_scoped(tmp_path):
+    replay_dir = tmp_path / "repro" / "replay"
+    replay_dir.mkdir(parents=True)
+    allowed = replay_dir / "allowed.py"
+    allowed.write_text(
+        "import time\nt = time.perf_counter()  # lint: allow-wall-clock\n"
+    )
+    assert lint_repro.lint_file(allowed, tmp_path) == []
+    # ...and the strict rule must not leak outside repro/replay paths.
+    outside = tmp_path / "repro" / "bench.py"
+    outside.write_text("import time\nt = time.perf_counter()\n")
+    assert lint_repro.lint_file(outside, tmp_path) == []
+
+
 # -- global-random ------------------------------------------------------------
 def test_global_random_flags_module_level_draws(tmp_path):
     source = (

@@ -13,7 +13,9 @@ Rules (all reported as ``path:line: [rule] message``):
   ``time.monotonic()``, ``datetime.now()`` and friends inject host time
   into the simulation.  ``time.perf_counter`` stays allowed: benchmarks
   measure real wall duration, they never feed it back into simulated
-  state.
+  state.  Exception: inside ``repro/replay`` even ``perf_counter`` /
+  ``perf_counter_ns`` are flagged — record/replay must be a pure function
+  of the recording, so *any* host-clock read there is a divergence bug.
 * **global-random** — module-level ``random.random()`` /
   ``np.random.rand()`` etc. draw from cross-run shared state; all
   randomness must flow through seeded generators
@@ -48,6 +50,12 @@ _WALL_CLOCK_TIME = {
 }
 #: datetime constructors that read the host clock
 _WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+#: additionally poison under strict clock rules (replay paths): even a
+#: benchmark-grade timer is a nondeterminism hazard inside record/replay
+_WALL_CLOCK_STRICT = {"perf_counter", "perf_counter_ns", "process_time",
+                      "process_time_ns", "thread_time", "thread_time_ns"}
+#: path fragments whose files get the strict clock rules
+_STRICT_CLOCK_PATHS = ("repro/replay",)
 
 #: numpy.random attributes that are fine (seeded-generator constructors)
 _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
@@ -77,9 +85,10 @@ def _attr_chain(node: ast.AST) -> str:
 class _Linter(ast.NodeVisitor):
     """One file's worth of determinism checks."""
 
-    def __init__(self, relpath: str, allowed: dict):
+    def __init__(self, relpath: str, allowed: dict, strict_clock: bool = False):
         self.relpath = relpath
         self.allowed = allowed  # lineno -> set of allowed rule names
+        self.strict_clock = strict_clock
         self.errors: list[str] = []
         #: function-local names currently known to be bound to a set
         self._set_names: list[set] = [set()]
@@ -98,6 +107,16 @@ class _Linter(ast.NodeVisitor):
                 node, "wall-clock",
                 f"{chain}() reads the host clock; simulated code must use "
                 "sim.now (benchmarks: time.perf_counter)",
+            )
+        elif (
+            self.strict_clock
+            and chain.startswith("time.")
+            and leaf in _WALL_CLOCK_STRICT
+        ):
+            self._report(
+                node, "wall-clock",
+                f"{chain}() reads a host timer; replay code must be a pure "
+                "function of the recording — use sim.now only",
             )
         elif leaf in _WALL_CLOCK_DATETIME and (
             "datetime" in chain or "date." in chain
@@ -239,7 +258,9 @@ def lint_file(path: Path, root: Path) -> list[str]:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as exc:  # pragma: no cover - tests would fail first
         return [f"{relpath}: syntax error: {exc}"]
-    linter = _Linter(relpath, _allowed_lines(source))
+    posix = relpath.replace("\\", "/")
+    strict = any(fragment in posix for fragment in _STRICT_CLOCK_PATHS)
+    linter = _Linter(relpath, _allowed_lines(source), strict_clock=strict)
     linter.visit(tree)
     return linter.errors
 
