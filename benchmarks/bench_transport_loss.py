@@ -1,0 +1,128 @@
+"""Transport x burst-loss sweep: SR+SACK vs stop-and-wait vs go-back-N.
+
+The modern-transport acceptance bar: under Gilbert–Elliott burst loss the
+selective-repeat transport (and the dual-channel service built on it) must
+sustain >= 10x the goodput of the seed's stop-and-wait protocol at the
+canonical loss point, while staying *bit-identical* to it on loss-free
+application runs — reliability strategy must change timing, never results.
+
+Rows come from :mod:`repro.perf.netbench`, the same canonical scenarios
+``tools/check_bench.py --suite transport`` records in
+``BENCH_transport.json``; a DNF row means the transport exhausted its
+retry budget mid-burst (stop-and-wait's 8-retry cap dies on long bursts).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import matmul_worker
+from repro.dse import ClusterConfig, run_parallel
+from repro.hardware import get_platform
+from repro.network import FabricConfig
+from repro.perf.netbench import CANONICAL, matrix_ratios, run_matrix, sweep_rows
+from repro.util.tables import Table
+
+REQUIRED_RATIO = 10.0
+
+
+def test_sr_beats_stop_and_wait_under_burst_loss(benchmark, fast_mode):
+    loss_points = (0.0, 0.01, 0.02) if fast_mode else (0.0, 0.01, 0.02, 0.05)
+    rows = benchmark.pedantic(
+        lambda: sweep_rows(loss_points=loss_points), rounds=1, iterations=1
+    )
+    t = Table(
+        ["transport", "p_enter_bad", "goodput_msg_s", "elapsed_s",
+         "retransmits", "timeouts", "speedup"],
+        title=(f"transport goodput under Gilbert-Elliott burst loss "
+               f"({CANONICAL['n_messages']} msgs, "
+               f"{CANONICAL['payload_bytes']} B, seed {CANONICAL['seed']})"),
+    )
+    for row in rows:
+        t.add(
+            row["transport"],
+            row["p_enter_bad"],
+            row["goodput_mps"] if row["completed"] else "DNF",
+            row["elapsed_s"] if row["completed"] else "-",
+            row["retransmissions"],
+            row["timeouts"],
+            row["speedup_vs_stop_and_wait"],
+        )
+    print("\n" + t.render())
+    by_key = {(r["transport"], r["p_enter_bad"]): r for r in rows}
+    gate = CANONICAL["p_enter_bad"]
+    for kind in ("sr", "dual"):
+        row = by_key[(kind, gate)]
+        assert row["completed"], f"{kind} DNF'd at the canonical loss point"
+        assert row["speedup_vs_stop_and_wait"] >= REQUIRED_RATIO, (
+            f"{kind} only {row['speedup_vs_stop_and_wait']}x vs stop-and-wait "
+            f"at p_enter_bad={gate} (need >= {REQUIRED_RATIO}x)"
+        )
+    # Loss-free, every reliable transport pipelines identically fast — the
+    # win must come from loss recovery, not from cheating the cost model.
+    for kind in ("sr", "dual"):
+        assert by_key[(kind, 0.0)]["elapsed_s"] == pytest.approx(
+            by_key[("reliable-gbn", 0.0)]["elapsed_s"]
+        )
+
+
+def test_sr_speedup_is_deterministic(benchmark):
+    """The whole matrix repeats bit-for-bit: CI can compare it exactly."""
+    first, second = benchmark.pedantic(
+        lambda: (run_matrix(), run_matrix()), rounds=1, iterations=1
+    )
+    assert first == second
+    ratios = matrix_ratios(first)
+    assert ratios[f"sr@{CANONICAL['p_enter_bad']:g}"] >= REQUIRED_RATIO
+
+
+def _run_matmul(transport):
+    config = ClusterConfig(
+        platform=get_platform("sunos"),
+        n_processors=4,
+        transport=transport,
+        fabric=FabricConfig(kind="switch"),
+    )
+    return run_parallel(config, matmul_worker, args=(12,))
+
+
+def _data_only(returns):
+    """Strip per-rank timing (t0/t1): transports change *when*, not *what*."""
+    return {
+        rank: {k: v for k, v in ret.items() if k not in ("t0", "t1")}
+        for rank, ret in returns.items()
+    }
+
+
+def test_transports_are_bit_identical_on_results(benchmark):
+    """Same seed, loss-free: every transport computes the same matmul.
+
+    The transport may only reorder/redo *wire traffic*; the simulated
+    application must converge on identical numbers.  (Timing legitimately
+    differs — pipelining is the whole point.)
+    """
+    runs = benchmark.pedantic(
+        lambda: {k: _run_matmul(k) for k in ("reliable", "sr", "dual")},
+        rounds=1,
+        iterations=1,
+    )
+    base = _data_only(runs["reliable"].returns)
+    for kind in ("sr", "dual"):
+        got = _data_only(runs[kind].returns)
+        assert got.keys() == base.keys()
+        for rank in base:
+            for field, want in base[rank].items():
+                have = got[rank][field]
+                same = (have == want)
+                if isinstance(want, np.ndarray):
+                    same = np.array_equal(have, want)
+                assert same, f"{kind} changed rank {rank} field {field!r}"
+    t = Table(["transport", "elapsed_s", "retransmissions", "unreliable_sent"],
+              title="matmul(12) on 4 kernels, loss-free switch")
+    for kind, res in runs.items():
+        t.add(kind, round(res.elapsed, 6),
+              int(res.stats["net.retransmissions"]),
+              int(res.stats["net.unreliable_sent"]))
+    print("\n" + t.render())
+    # The dual service actually used its raw datagram lane.
+    assert runs["dual"].stats["net.unreliable_sent"] > 0
+    assert runs["reliable"].stats["net.unreliable_sent"] == 0

@@ -129,6 +129,11 @@ class Cluster:
             sampler.register(f"{host}.nic.tx_depth", lambda n=machine.nic: len(n.tx_queue))
             sampler.register_statset(host, machine.stats)
             sampler.register_statset(f"{host}.nic", machine.nic.stats)
+            tstats = getattr(machine.transport, "stats", None)
+            if tstats is not None:
+                # Reliable/SR/dual transports: retransmissions, timeouts,
+                # cwnd floor hits, SACKs... under ``<host>.tp``.
+                sampler.register_statset(f"{host}.tp", tstats)
         for kernel in self.kernels:
             gm = kernel.gmem.stats
             sampler.register_statset(f"k{kernel.kernel_id}.gmem", gm)
@@ -209,6 +214,26 @@ class Cluster:
         out["msgs_sent"] = sum(
             m.stats.counter("msgs_sent").value for m in self.machines
         )
+        # Transport-level health (zero for the plain datagram transport,
+        # which keeps no such counters): how hard reliability had to work.
+        transport_stats = [
+            m.transport.stats
+            for m in self.machines
+            if getattr(m.transport, "stats", None) is not None
+        ]
+        for key in (
+            "retransmissions",
+            "timeouts",
+            "fast_retransmits",
+            "partial_ack_retransmits",
+            "cwnd_floor_hits",
+            "duplicates_dropped",
+            "out_of_order_buffered",
+            "unreliable_sent",
+        ):
+            out[f"net.{key}"] = float(
+                sum(st.counter(key).value for st in transport_stats)
+            )
         out["gm.remote_reads"] = sum(
             k.gmem.stats.counter("remote_reads").value for k in self.kernels
         )

@@ -23,7 +23,7 @@ __all__ = ["ClusterConfig", "DEFAULT_MACHINES"]
 DEFAULT_MACHINES = 6
 
 _COHERENCE_POLICIES = ("home", "cache")
-_TRANSPORTS = ("datagram", "reliable", "reliable-gbn")
+_TRANSPORTS = ("datagram", "reliable", "reliable-gbn", "sr", "dual")
 
 
 @dataclass(frozen=True)

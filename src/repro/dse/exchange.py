@@ -25,7 +25,7 @@ from ..hardware.cpu import Work
 from ..osmodel.sockets import Socket
 from ..sim.core import Event
 from ..sim.monitor import StatSet
-from .messages import DSEMessage, MsgType
+from .messages import DSEMessage, MsgType, channel_of
 
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import DSEKernel
@@ -38,6 +38,13 @@ DSE_BASE_PORT = 6200
 #: cost of the library-call path for own-node messages (the win of the
 #: paper's re-organisation: no syscall, no protocol processing)
 LOCAL_CALL_WORK = Work(iops=200, mems=50)
+
+#: application-level retry of RPCs on the unreliable dual-transport channel:
+#: wait this long (simulated) for the response before re-sending the request
+APP_RETRY_TIMEOUT = 0.025
+#: re-sends before the RPC is declared failed (data-class requests are
+#: idempotent, so a duplicate dispatch on the server is harmless)
+APP_RETRY_LIMIT = 12
 
 
 class MessageExchange:
@@ -66,6 +73,9 @@ class MessageExchange:
         #: last simulated time anything was sent towards the monitor
         #: (kernel 0) — lets the heartbeat agent piggyback on real traffic
         self.last_sent_to_monitor = 0.0
+        #: dual-channel transport: classify every message and retry
+        #: unreliable-channel RPCs at the application level
+        self._dual = getattr(kernel.machine.transport, "dual_channel", False)
 
     def add_route(self, kernel_id: int, station: int, port: int) -> None:
         self.routes[kernel_id] = (station, port)
@@ -119,6 +129,14 @@ class MessageExchange:
                 self.obs.end(span, self.sim.now)
             return response
         self.stats.counter("requests_sent").increment()
+        if self._dual and channel_of(msg.msg_type) == "unreliable":
+            # Data-class RPC on the raw channel: the transport gives no
+            # delivery guarantee, so reliability lives here — resend the
+            # (idempotent) request until its response arrives.
+            response = yield from self._request_with_retry(msg)
+            if span is not None:
+                self.obs.end(span, self.sim.now)
+            return response
         yield from self._transmit(msg)
         try:
             response = yield from self._await_response(msg.seq, dst=msg.dst_kernel)
@@ -129,6 +147,47 @@ class MessageExchange:
         if span is not None:
             self.obs.end(span, self.sim.now)
         return response
+
+    def _request_with_retry(
+        self, msg: DSEMessage
+    ) -> Generator[Event, Any, DSEMessage]:
+        """Transmit on the unreliable channel and await the response,
+        re-sending on a timeout (at-least-once; requires idempotence).
+
+        A duplicated request makes the server dispatch twice and answer
+        twice; the spare response is left unclaimed in the mailbox, exactly
+        like a duplicate datagram.  Exponential patience: attempt *n* waits
+        ``n * APP_RETRY_TIMEOUT`` before the next resend."""
+        seq = msg.seq
+        match = (
+            lambda p: isinstance(p.payload, DSEMessage)
+            and p.payload.is_response
+            and p.payload.seq == seq
+        )
+        for attempt in range(1, APP_RETRY_LIMIT + 2):
+            yield from self._transmit(msg)
+            # The abort must be a plain Event: a Timeout is born triggered
+            # (value pre-set, dispatch via the queue), so recv's fast-path
+            # ``abort.triggered`` check would bail out immediately.
+            deadline = self.sim.event(
+                name=f"k{self.kernel.kernel_id}.rpc-deadline:{seq}"
+            )
+            timer = self.sim.timeout(attempt * APP_RETRY_TIMEOUT)
+            timer.callbacks.append(
+                lambda _ev, d=deadline: None if d.triggered else d.succeed()
+            )
+            packet = yield from self.socket.recv(filter=match, abort=deadline)
+            if packet is not None:
+                if attempt > 1:
+                    self.stats.counter("rpc_retries_recovered").increment()
+                return packet.payload
+            if attempt <= APP_RETRY_LIMIT:
+                self.stats.counter("rpc_retries").increment()
+        raise DSEError(
+            f"kernel {self.kernel.kernel_id} gave up on "
+            f"{msg.msg_type.value} #{seq} to kernel {msg.dst_kernel} after "
+            f"{APP_RETRY_LIMIT} unreliable-channel retries"
+        )
 
     def notify(self, msg: DSEMessage) -> Generator[Event, Any, None]:
         """Send a one-way message (no response expected)."""
@@ -169,7 +228,10 @@ class MessageExchange:
             "send",
             (msg.msg_type.value, msg.dst_kernel, msg.size_bytes),
         )
-        yield from self.socket.sendto(station, port, msg, msg.size_bytes, trace=msg.trace)
+        channel = channel_of(msg.msg_type) if self._dual else None
+        yield from self.socket.sendto(
+            station, port, msg, msg.size_bytes, trace=msg.trace, channel=channel
+        )
 
     def _await_response(
         self, seq: int, dst: Optional[int] = None

@@ -17,7 +17,15 @@ from enum import Enum
 from itertools import count
 from typing import Any, Optional, Tuple
 
-__all__ = ["MsgType", "DSEMessage", "HEADER_BYTES", "WORD_BYTES", "is_request", "is_response"]
+__all__ = [
+    "MsgType",
+    "DSEMessage",
+    "HEADER_BYTES",
+    "WORD_BYTES",
+    "is_request",
+    "is_response",
+    "channel_of",
+]
 
 #: fixed DSE message header: type, seq, src, dst, addr/len fields
 HEADER_BYTES = 32
@@ -105,6 +113,40 @@ def is_request(t: MsgType) -> bool:
 
 def is_response(t: MsgType) -> bool:
     return t in _RESPONSES
+
+
+#: message types carried on the *unreliable* channel of a dual-channel
+#: transport (see docs/networking.md): bulk global-memory data movement —
+#: idempotent request/response pairs the exchange layer repairs itself with
+#: an application-level retry — and best-effort liveness beacons.  Everything
+#: else (locks, barriers, invalidations, allocation, process management) is
+#: ordering- or exactly-once-critical and rides the reliable channel.
+_DATA_CLASS = frozenset(
+    {
+        MsgType.GM_READ_REQ,
+        MsgType.GM_READ_RSP,
+        MsgType.GM_WRITE_REQ,
+        MsgType.GM_WRITE_RSP,
+        MsgType.GM_WBATCH_REQ,
+        MsgType.GM_WBATCH_RSP,
+        MsgType.GM_FETCH_REQ,
+        MsgType.GM_FETCH_RSP,
+        MsgType.GM_WB_REQ,
+        MsgType.GM_WB_RSP,
+        MsgType.RES_HEARTBEAT,
+    }
+)
+
+
+def channel_of(t: MsgType) -> str:
+    """Which dual-channel lane carries a message type.
+
+    ``"unreliable"`` for idempotent bulk data and best-effort beacons,
+    ``"reliable"`` for control traffic.  Only consulted when the cluster
+    runs the ``dual`` transport; single-channel transports carry every
+    class the same way.
+    """
+    return "unreliable" if t in _DATA_CLASS else "reliable"
 
 
 #: message types whose word payload is charged on the wire: write/fetch

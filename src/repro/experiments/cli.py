@@ -32,6 +32,15 @@ and measures detection + recovery (see :mod:`repro.resilience` and
     dse-experiments resilience --mode spmd --crash-at 0.05
     dse-experiments resilience --mode farm --crashes 2
 
+The ``loss-sweep`` subcommand streams messages through each transport
+under Gilbert–Elliott burst loss and tabulates goodput + the speed-up
+over the seed's stop-and-wait protocol (see :mod:`repro.perf.netbench`
+and ``docs/networking.md``)::
+
+    dse-experiments loss-sweep
+    dse-experiments loss-sweep --loss 0,0.02,0.05 --transports reliable,sr
+    dse-experiments loss-sweep --fabric ethernet --messages 400
+
 The ``profile-engine`` subcommand runs a workload (or an engine
 micro-bench) under the event-loop profiler and prints where the host CPU
 went: dispatch counts/time per event type, hot callback sites, and the
@@ -208,6 +217,76 @@ def _profile_engine_main(argv: List[str]) -> int:
     return 0
 
 
+def _loss_sweep_main(argv: List[str]) -> int:
+    """Tabulate transport goodput under Gilbert–Elliott burst loss."""
+    from ..perf.netbench import CANONICAL, LOSS_POINTS, TRANSPORTS, sweep_rows
+    from ..protocol.transport import TRANSPORT_KINDS
+    from ..util.tables import Table
+
+    parser = argparse.ArgumentParser(
+        prog="dse-experiments loss-sweep",
+        description="Stream messages through each transport under burst "
+                    "loss; report goodput and speed-up vs stop-and-wait.",
+    )
+    parser.add_argument(
+        "--transports", default=",".join(TRANSPORTS),
+        help=f"comma list from {', '.join(TRANSPORT_KINDS)} "
+             f"(default: {','.join(TRANSPORTS)})",
+    )
+    parser.add_argument(
+        "--loss", default=",".join(f"{p:g}" for p in LOSS_POINTS),
+        help="comma list of Gilbert-Elliott p_enter_bad values "
+             f"(default: {','.join(f'{p:g}' for p in LOSS_POINTS)})",
+    )
+    parser.add_argument("--p-exit", type=float, default=CANONICAL["p_exit_bad"],
+                        help="burst exit probability (mean burst = 1/p_exit "
+                             f"frames; default {CANONICAL['p_exit_bad']:g})")
+    parser.add_argument("--messages", type=int, default=CANONICAL["n_messages"])
+    parser.add_argument("--payload", type=int, default=CANONICAL["payload_bytes"])
+    parser.add_argument("--fabric", choices=("switch", "ethernet"),
+                        default=CANONICAL["fabric"])
+    parser.add_argument("--seed", type=int, default=CANONICAL["seed"])
+    args = parser.parse_args(argv)
+
+    transports = tuple(t.strip() for t in args.transports.split(",") if t.strip())
+    unknown = [t for t in transports if t not in TRANSPORT_KINDS]
+    if unknown:
+        parser.error(f"unknown transport(s) {unknown}; pick from {TRANSPORT_KINDS}")
+    loss_points = tuple(float(p) for p in args.loss.split(","))
+
+    rows = sweep_rows(
+        transports,
+        loss_points,
+        n_messages=args.messages,
+        payload_bytes=args.payload,
+        p_exit_bad=args.p_exit,
+        fabric=args.fabric,
+        seed=args.seed,
+    )
+    t = Table(
+        ["transport", "p_enter_bad", "goodput_msg_s", "elapsed_s",
+         "retransmits", "timeouts", "vs_stop_and_wait"],
+        title=(f"{args.messages} x {args.payload} B over {args.fabric}, "
+               f"mean burst {1 / args.p_exit:g} frames, seed {args.seed}"),
+    )
+    for row in rows:
+        dnf = not row["completed"]
+        t.add(
+            row["transport"],
+            f"{row['p_enter_bad']:g}",
+            "DNF" if dnf else f"{row['goodput_mps']:.0f}",
+            "-" if dnf else f"{row['elapsed_s']:.6f}",
+            row["retransmissions"],
+            row["timeouts"],
+            f"{row['speedup_vs_stop_and_wait']:g}x",
+        )
+    print(t.render())
+    if any(not row["completed"] for row in rows):
+        print("\nDNF: retry budget exhausted mid-burst (partial delivery; "
+              "stop-and-wait caps at 8 attempts per message)")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -215,6 +294,8 @@ def main(argv: List[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "profile-engine":
         return _profile_engine_main(argv[1:])
+    if argv and argv[0] == "loss-sweep":
+        return _loss_sweep_main(argv[1:])
     if argv and argv[0] == "scale":
         from .scaling import scale_main
 

@@ -1,7 +1,7 @@
 """Network models: frames, CSMA/CD shared bus, switched LAN, NICs."""
 
 from .ethernet import EthernetBus, SEND_DROPPED, SEND_OK
-from .faults import LossInjector
+from .faults import BurstLossConfig, LossInjector
 from .frame import (
     BROADCAST,
     ETH_HEADER_BYTES,
@@ -15,6 +15,7 @@ from .switch import SwitchedLAN
 from .topology import ClusterNetwork, FabricConfig, build_network
 
 __all__ = [
+    "BurstLossConfig",
     "EthernetBus",
     "LossInjector",
     "SEND_DROPPED",

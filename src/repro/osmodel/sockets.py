@@ -50,9 +50,16 @@ class Socket:
         payload: Any,
         payload_bytes: int,
         trace: Any = None,
+        channel: Optional[str] = None,
     ) -> Generator[Event, Any, None]:
         """Send one message; completes when handed to the NIC (datagram) or
-        acknowledged (reliable transport)."""
+        acknowledged (reliable transport).
+
+        ``channel`` selects the dual-channel lane ("reliable" or
+        "unreliable") when the machine runs the ``dual`` transport; it is
+        ignored (with a counter) on single-channel transports so callers
+        can classify unconditionally.
+        """
         self._check_open()
         span = None
         if self.obs.enabled and trace is not None:
@@ -68,11 +75,21 @@ class Socket:
         self.machine.stats.counter("msgs_sent").increment()
         self.machine.stats.counter("bytes_sent").increment(payload_bytes)
         if dst_station == self.machine.station_id:
-            # Same machine (virtual cluster): loopback, no wire.
+            # Same machine (virtual cluster): loopback, no wire — channels
+            # are indistinguishable on the loss-free local path.
             self.machine.transport.loopback(
                 dst_port, payload, payload_bytes, src_port=self.port, trace=trace
             )
+        elif channel is not None and getattr(
+            self.machine.transport, "dual_channel", False
+        ):
+            yield from self.machine.transport.send(
+                dst_station, dst_port, payload, payload_bytes,
+                src_port=self.port, trace=trace, channel=channel,
+            )
         else:
+            if channel is not None:
+                self.machine.stats.counter("channel_hints_ignored").increment()
             yield from self.machine.transport.send(
                 dst_station, dst_port, payload, payload_bytes,
                 src_port=self.port, trace=trace,

@@ -1,0 +1,191 @@
+"""Canonical transport-loss scenarios (shared by tools, benchmarks, CI).
+
+One scenario: a sender streams ``n_messages`` fixed-size messages to a
+receiver over one fabric while a Gilbert–Elliott burst-loss chain
+(:class:`~repro.network.faults.BurstLossConfig`) eats frames on the
+receiver's NIC, then flushes.  The headline number is **simulated
+goodput** — delivered messages per simulated second — which is fully
+deterministic per seed and therefore machine-independent: CI can compare
+it exactly, no wall-clock tolerance needed.
+
+``tools/check_bench.py --suite transport`` records/compares the committed
+trajectory in ``BENCH_transport.json`` and gates the selective-repeat
+speed-up over stop-and-wait under burst loss (the modern-transport
+acceptance bar is >= 10x at the canonical loss point).  The same matrix
+backs ``benchmarks/bench_transport_loss.py`` and the ``dse-experiments
+loss-sweep`` CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "TRANSPORTS",
+    "LOSS_POINTS",
+    "CANONICAL",
+    "run_stream",
+    "run_matrix",
+    "sweep_rows",
+    "matrix_ratios",
+]
+
+#: transports the loss matrix compares (datagram would silently lose data)
+TRANSPORTS = ("reliable", "reliable-gbn", "sr", "dual")
+
+#: canonical Gilbert–Elliott entry probabilities swept (p_exit fixed: mean
+#: burst length 4 frames); 0.0 is the loss-free control column
+LOSS_POINTS = (0.0, 0.01, 0.02)
+
+#: the acceptance-gate point: seed, fabric, messages, and the loss setting
+#: the >= 10x selective-repeat speed-up is asserted at
+CANONICAL = {
+    "fabric": "switch",
+    "n_messages": 200,
+    "payload_bytes": 256,
+    "p_enter_bad": 0.02,
+    "p_exit_bad": 0.25,
+    "seed": 1999,
+}
+
+
+def run_stream(
+    kind: str,
+    n_messages: int = 200,
+    payload_bytes: int = 256,
+    p_enter_bad: float = 0.0,
+    p_exit_bad: float = 0.25,
+    seed: int = 1999,
+    fabric: str = "switch",
+    timeout: float = 120.0,
+) -> Dict[str, float]:
+    """Stream ``n_messages`` through ``kind`` under burst loss; measure.
+
+    Returns the deterministic outcome: ``sim_now`` (flush completion,
+    simulated seconds), ``goodput_mps`` (messages per simulated second),
+    ``delivered``, and the transport's recovery counters.  A transport
+    that gives up mid-burst (stop-and-wait exhausts its retry budget on
+    long bursts) comes back with ``completed = 0`` and the partial
+    delivery count — a DNF row, not an exception.
+    """
+    from ..network.faults import BurstLossConfig, LossInjector
+    from ..network.topology import FabricConfig, build_network
+    from ..protocol.transport import make_transport
+    from ..sim.core import Simulator
+    from ..sim.rng import RandomStreams
+
+    sim = Simulator()
+    rng = RandomStreams(seed)
+    net = build_network(sim, rng, 2, FabricConfig(kind=fabric))
+    sender = make_transport(sim, net.nic(0), kind)
+    receiver = make_transport(sim, net.nic(1), kind)
+    inbox = receiver.bind(7)
+    if p_enter_bad > 0.0:
+        injector = LossInjector(
+            sim,
+            net.nic(1),
+            rng,
+            burst=BurstLossConfig(p_enter_bad=p_enter_bad, p_exit_bad=p_exit_bad),
+        )
+        injector.arm()
+
+    finished: Dict[str, float] = {}
+
+    def produce():
+        for i in range(n_messages):
+            yield from sender.send(1, 7, ("msg", i), payload_bytes)
+        if hasattr(sender, "flush"):
+            yield from sender.flush(1, 7)
+        finished["at"] = sim.now
+
+    got: List[Tuple[str, int]] = []
+
+    def consume():
+        while len(got) < n_messages:
+            packet = yield inbox.get()
+            got.append(packet.payload)
+
+    sim.process(produce(), name="netbench-sender")
+    sim.process(consume(), name="netbench-receiver")
+    try:
+        sim.run(until=timeout)
+    except ProtocolError:
+        # Stop-and-wait's retry budget died inside a burst: DNF.
+        finished.pop("at", None)
+    done = finished.get("at")
+    outcome: Dict[str, float] = {
+        "completed": 1 if done is not None else 0,
+        "sim_now": round(done, 9) if done is not None else 0.0,
+        "delivered": len(got),
+        "goodput_mps": round(n_messages / done, 3) if done else 0.0,
+    }
+    stats = getattr(sender, "stats", None)
+    if stats is not None:
+        for counter in ("retransmissions", "timeouts", "fast_retransmits",
+                        "partial_ack_retransmits", "cwnd_floor_hits"):
+            outcome[counter] = stats.counter(counter).value
+    return outcome
+
+
+def run_matrix(
+    transports: Tuple[str, ...] = TRANSPORTS,
+    loss_points: Tuple[float, ...] = LOSS_POINTS,
+    **overrides,
+) -> Dict[str, Dict[str, float]]:
+    """The full transport x loss matrix, keyed ``"<kind>@<p_enter>"``."""
+    params = {**CANONICAL, **overrides}
+    params.pop("p_enter_bad", None)
+    results = {}
+    for kind in transports:
+        for p_enter in loss_points:
+            results[f"{kind}@{p_enter:g}"] = run_stream(
+                kind, p_enter_bad=p_enter, **params
+            )
+    return results
+
+
+def matrix_ratios(results: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Goodput speed-ups over stop-and-wait per loss point (0 on DNF)."""
+    ratios = {}
+    for key, outcome in results.items():
+        kind, _, point = key.partition("@")
+        if kind == "reliable":
+            continue
+        base = results.get(f"reliable@{point}")
+        if base is None:
+            continue
+        if base["completed"] and outcome["completed"] and base["sim_now"]:
+            ratios[key] = round(outcome["goodput_mps"] / base["goodput_mps"], 3)
+        else:
+            # Stop-and-wait DNF'd: the speed-up is unbounded; report the
+            # sentinel rather than a fake number.
+            ratios[key] = float("inf") if outcome["completed"] else 0.0
+    return ratios
+
+
+def sweep_rows(
+    transports: Tuple[str, ...] = TRANSPORTS,
+    loss_points: Tuple[float, ...] = LOSS_POINTS,
+    **overrides,
+) -> List[Dict[str, float]]:
+    """The matrix flattened into table rows (CLI / benchmark display)."""
+    results = run_matrix(transports, loss_points, **overrides)
+    ratios = matrix_ratios(results)
+    rows = []
+    for key, outcome in results.items():
+        kind, _, point = key.partition("@")
+        rows.append(
+            {
+                "transport": kind,
+                "p_enter_bad": float(point),
+                "completed": bool(outcome["completed"]),
+                "elapsed_s": outcome["sim_now"],
+                "goodput_mps": outcome["goodput_mps"],
+                "retransmissions": outcome.get("retransmissions", 0),
+                "timeouts": outcome.get("timeouts", 0),
+                "speedup_vs_stop_and_wait": ratios.get(key, 1.0),
+            }
+        )
+    return rows

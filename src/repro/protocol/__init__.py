@@ -1,6 +1,13 @@
-"""Transport protocols: datagram and reliable services over the link layer."""
+"""Transport protocols: datagram, reliable, and dual-channel services."""
 
+from .channels import CHANNELS, DualChannelService
 from .packet import Fragment, Packet, UDP_HEADER_BYTES, fragment_sizes
+from .sr import (
+    SR_ACK_PORT_OFFSET,
+    SelectiveRepeatService,
+    SRSegment,
+    coalesce_ranges,
+)
 from .tcp import (
     GBN_ACK_PORT_OFFSET,
     RELIABLE_ACK_PORT_OFFSET,
@@ -15,6 +22,12 @@ __all__ = [
     "Packet",
     "UDP_HEADER_BYTES",
     "fragment_sizes",
+    "CHANNELS",
+    "DualChannelService",
+    "SR_ACK_PORT_OFFSET",
+    "SelectiveRepeatService",
+    "SRSegment",
+    "coalesce_ranges",
     "GBN_ACK_PORT_OFFSET",
     "RELIABLE_ACK_PORT_OFFSET",
     "ReliableService",

@@ -1,0 +1,116 @@
+"""Dual-channel transport: reliable control + unreliable data channels.
+
+The paper's communication layer carries two very different traffic
+classes: small, ordering-critical *control* messages (locks, barriers,
+coherence ownership) and large, latency-sensitive *data* messages (global
+memory fills) whose loss the application layer can repair by retrying an
+idempotent request.  :class:`DualChannelService` serves both over **one**
+datagram service / NIC:
+
+* the **reliable channel** is a :class:`~repro.protocol.sr.SelectiveRepeatService`
+  flow — in-order, SACK-repaired, congestion controlled;
+* the **unreliable channel** is the raw datagram path — no sequencing, no
+  acks, one fragment train and done.  Under loss, whoever uses it must
+  retry at the application level (``repro.dse.exchange`` does, keyed by
+  RPC sequence number).
+
+Both channels deliver into the *same* bound port mailbox: the reliable
+receive path recognises raw (non-:class:`~repro.protocol.sr.SRSegment`)
+payloads and passes them straight through, so a receiver needs no
+channel awareness.  Channel selection is the sender's choice, per
+message, via ``send(..., channel="reliable" | "unreliable")`` — see the
+message-class table in ``docs/networking.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..errors import ProtocolError
+from ..sim.core import Event, Simulator
+from .packet import Packet
+from .sr import SelectiveRepeatService
+from .udp import DatagramService, Mailbox
+
+__all__ = ["DualChannelService", "CHANNELS"]
+
+#: the two channels a dual transport offers
+CHANNELS = ("reliable", "unreliable")
+
+
+class DualChannelService:
+    """Two-channel transport over one datagram service.
+
+    Presents the uniform transport interface (``bind`` / ``send`` /
+    ``loopback`` / ``unbind``) plus the ``channel=`` selector.  The
+    default channel is reliable, so a caller that never mentions
+    channels gets selective-repeat semantics.
+    """
+
+    #: capability flag the exchange layer sniffs (structural, no import)
+    dual_channel = True
+
+    def __init__(self, sim: Simulator, datagram: DatagramService, **sr_options: Any):
+        self.sim = sim
+        self.datagram = datagram
+        self.station = datagram.station
+        self.reliable = SelectiveRepeatService(sim, datagram, **sr_options)
+        #: shared stats: the SR StatSet also counts unreliable sends, so
+        #: one snapshot shows the whole dual-channel picture
+        self.stats = self.reliable.stats
+
+    # -- ports --------------------------------------------------------------
+    def bind(self, port: int) -> Mailbox:
+        """Bind a port; both channels deliver into the returned mailbox."""
+        return self.reliable.bind(port)
+
+    def unbind(self, port: int) -> None:
+        self.reliable.unbind(port)
+
+    # -- send ---------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        dst_port: int,
+        payload: Any,
+        payload_bytes: int,
+        src_port: int = 0,
+        trace: Any = None,
+        channel: str = "reliable",
+    ) -> Generator[Event, Any, None]:
+        """Send on the chosen channel.
+
+        ``reliable`` completes when the segment entered the congestion
+        window (pipelined; see :meth:`flush`); ``unreliable`` completes
+        when the fragments are handed to the NIC — fire and forget.
+        """
+        if channel == "reliable":
+            yield from self.reliable.send(
+                dst, dst_port, payload, payload_bytes, src_port, trace=trace
+            )
+            return
+        if channel != "unreliable":
+            raise ProtocolError(
+                f"unknown channel {channel!r}; expected one of {CHANNELS}"
+            )
+        self.stats.counter("unreliable_sent").increment()
+        yield from self.datagram.send(
+            dst, dst_port, payload, payload_bytes, src_port, trace=trace
+        )
+
+    def flush(self, dst: int, dst_port: int) -> Generator[Event, Any, None]:
+        """Wait until the reliable channel's flow to ``dst:port`` drains."""
+        yield from self.reliable.flush(dst, dst_port)
+
+    def loopback(
+        self,
+        dst_port: int,
+        payload: Any,
+        payload_bytes: int,
+        src_port: int = 0,
+        trace: Any = None,
+    ) -> Packet:
+        """Local delivery — loss-free, so channels are indistinguishable."""
+        return self.reliable.loopback(
+            dst_port, payload, payload_bytes, src_port, trace=trace
+        )

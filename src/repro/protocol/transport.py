@@ -3,22 +3,38 @@
 The re-organised DSE "eliminates dependency on a specific communication
 protocol" — the kernel's message-exchange module talks to this interface,
 and cluster construction decides whether the wire service is the datagram
-or the reliable transport.
+service, one of the reliable transports, or the dual-channel stack:
+
+==============  ============================================================
+kind            service
+==============  ============================================================
+``datagram``    :class:`~repro.protocol.udp.DatagramService` — unreliable
+``reliable``    :class:`~repro.protocol.tcp.ReliableService` — stop-and-wait
+``reliable-gbn``:class:`~repro.protocol.tcp.WindowedReliableService` — go-back-N
+``sr``          :class:`~repro.protocol.sr.SelectiveRepeatService` — SR+SACK,
+                AIMD congestion control
+``dual``        :class:`~repro.protocol.channels.DualChannelService` — SR+SACK
+                reliable channel + raw unreliable channel on one NIC
+==============  ============================================================
+
+See ``docs/networking.md`` for the state machines and selection guidance.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional, Protocol, Union
+from typing import Any, Generator, Protocol, Union
 
 from ..errors import ConfigurationError
 from ..sim.core import Simulator
 from ..network.nic import NIC
-from .udp import DatagramService, Mailbox
+from .channels import DualChannelService
+from .sr import SelectiveRepeatService
 from .tcp import ReliableService, WindowedReliableService
+from .udp import DatagramService, Mailbox
 
 __all__ = ["Transport", "make_transport", "TRANSPORT_KINDS"]
 
-TRANSPORT_KINDS = ("datagram", "reliable", "reliable-gbn")
+TRANSPORT_KINDS = ("datagram", "reliable", "reliable-gbn", "sr", "dual")
 
 
 class Transport(Protocol):
@@ -39,7 +55,13 @@ class Transport(Protocol):
 
 def make_transport(
     sim: Simulator, nic: NIC, kind: str = "datagram"
-) -> Union[DatagramService, ReliableService, WindowedReliableService]:
+) -> Union[
+    DatagramService,
+    ReliableService,
+    WindowedReliableService,
+    SelectiveRepeatService,
+    DualChannelService,
+]:
     """Build the requested transport over ``nic``."""
     if kind not in TRANSPORT_KINDS:
         raise ConfigurationError(
@@ -50,4 +72,8 @@ def make_transport(
         return datagram
     if kind == "reliable":
         return ReliableService(sim, datagram)
-    return WindowedReliableService(sim, datagram)
+    if kind == "reliable-gbn":
+        return WindowedReliableService(sim, datagram)
+    if kind == "sr":
+        return SelectiveRepeatService(sim, datagram)
+    return DualChannelService(sim, datagram)

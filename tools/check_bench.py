@@ -1,9 +1,18 @@
 #!/usr/bin/env python
-"""Engine benchmark gate: record and compare the committed perf trajectory.
+"""Benchmark gates: record and compare the committed perf trajectories.
 
-``BENCH_engine.json`` holds a *trajectory* — an ordered list of labelled
-measurements of the canonical engine scenarios (:mod:`repro.perf.benches`).
-This tool has three modes:
+Two suites, selected with ``--suite``:
+
+* ``engine`` (default) — wall-clock measurements of the canonical engine
+  scenarios (:mod:`repro.perf.benches`), committed in ``BENCH_engine.json``.
+* ``transport`` — the transport x burst-loss goodput matrix
+  (:mod:`repro.perf.netbench`), committed in ``BENCH_transport.json``.
+  Every field is *simulated* and therefore machine-independent: CI
+  compares the whole matrix exactly, and ``--require-ratio`` (default 10)
+  gates the selective-repeat speed-up over stop-and-wait at the canonical
+  burst-loss point.
+
+The engine suite has three modes:
 
 record
     ``python tools/check_bench.py --record --label "post-PR5 fast paths"``
@@ -39,8 +48,13 @@ REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.perf.benches import BENCHES, MICRO_BENCHES, time_bench  # noqa: E402
+from repro.perf.netbench import matrix_ratios, run_matrix  # noqa: E402
 
 DEFAULT_BASELINE = REPO / "BENCH_engine.json"
+TRANSPORT_BASELINE = REPO / "BENCH_transport.json"
+
+#: the canonical gate points for --suite transport (loss point 0.02)
+_GATE_KEYS = ("sr@0.02", "dual@0.02")
 
 #: deterministic outcome fields compared exactly between runs
 _EXACT_FIELDS = ("sim_now", "events", "cancelled")
@@ -58,14 +72,59 @@ def measure(repeats: int) -> dict:
     return results
 
 
+def measure_transport() -> dict:
+    """Run the deterministic transport x loss matrix; print a summary."""
+    results = run_matrix()
+    ratios = matrix_ratios(results)
+    for key, outcome in results.items():
+        ratio = ratios.get(key)
+        extra = f"  ({ratio:g}x vs stop-and-wait)" if ratio is not None else ""
+        status = "" if outcome["completed"] else "  DNF"
+        print(f"  {key:>20}: goodput {outcome['goodput_mps']:10.1f} msg/s "
+              f"over {outcome['sim_now']:.6f} s{extra}{status}")
+    return {"results": results, "ratios": ratios}
+
+
+def compare_transport(fresh: dict, base_entry: dict, require_ratio: float) -> int:
+    """Exact comparison (everything simulated) + speed-up gate."""
+    failures = 0
+    base = base_entry["results"]
+    print(f"\ncomparing against baseline entry {base_entry['label']!r}:")
+    for key, cur in fresh["results"].items():
+        ref = base.get(key)
+        if ref is None:
+            print(f"  {key:>20}: NEW (no baseline)")
+            continue
+        if cur != ref:
+            diffs = {
+                fld: (cur.get(fld), ref.get(fld))
+                for fld in sorted(set(cur) | set(ref))
+                if cur.get(fld) != ref.get(fld)
+            }
+            print(f"  {key:>20}: DETERMINISM MISMATCH {diffs}")
+            failures += 1
+        else:
+            print(f"  {key:>20}: ok (exact)")
+    for key in _GATE_KEYS:
+        ratio = fresh["ratios"].get(key, 0.0)
+        ok = ratio >= require_ratio
+        print(f"  gate {key}: {ratio:g}x vs stop-and-wait "
+              f"[{'PASS' if ok else 'FAIL'} >= {require_ratio:g}x]")
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
 def load_trajectory(path: Path) -> list:
     if not path.exists():
         return []
     return json.loads(path.read_text())["trajectory"]
 
 
-def save_trajectory(path: Path, trajectory: list) -> None:
-    payload = {"benches": list(BENCHES), "trajectory": trajectory}
+def save_trajectory(path: Path, trajectory: list, benches=None) -> None:
+    payload = {
+        "benches": list(BENCHES) if benches is None else list(benches),
+        "trajectory": trajectory,
+    }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
@@ -123,8 +182,11 @@ def show_trajectory(trajectory: list, require_speedup: float | None) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
-                        help="trajectory file (default: BENCH_engine.json)")
+    parser.add_argument("--suite", choices=("engine", "transport"),
+                        default="engine",
+                        help="which benchmark suite to run (default: engine)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="trajectory file (default: BENCH_<suite>.json)")
     parser.add_argument("--record", action="store_true",
                         help="append a fresh measurement instead of comparing")
     parser.add_argument("--label", default="unlabelled",
@@ -139,7 +201,36 @@ def main(argv=None) -> int:
                         help="print the committed trajectory and speed-ups")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="with --trajectory: gate micro-bench first->last speed-up")
+    parser.add_argument("--require-ratio", type=float, default=10.0,
+                        help="transport suite: minimum SR-vs-stop-and-wait "
+                             "goodput ratio at the canonical loss point")
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        args.baseline = (
+            TRANSPORT_BASELINE if args.suite == "transport" else DEFAULT_BASELINE
+        )
+
+    if args.suite == "transport":
+        print("measuring transport x burst-loss matrix (simulated, exact):")
+        fresh = measure_transport()
+        trajectory = load_trajectory(args.baseline)
+        if args.record:
+            trajectory.append({
+                "label": args.label,
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                **fresh,
+            })
+            save_trajectory(args.baseline, trajectory,
+                            benches=sorted(fresh["results"]))
+            print(f"\nrecorded entry {args.label!r} ({len(trajectory)} total) "
+                  f"to {args.baseline}")
+            return 0
+        if not trajectory:
+            print(f"no baseline at {args.baseline}; run with --record first",
+                  file=sys.stderr)
+            return 2
+        return compare_transport(fresh, trajectory[-1], args.require_ratio)
 
     trajectory = load_trajectory(args.baseline)
     if args.trajectory:

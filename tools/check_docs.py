@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Documentation lint: markdown link check + docstring-presence check.
+"""Documentation lint: link check, docstring check, and doc execution.
 
-Stdlib only, so CI (and anyone) can run it without installing anything:
+Stdlib only, so CI (and anyone) can run it without installing anything
+(doc execution runs the repo's own examples, which may import numpy):
 
-    python tools/check_docs.py [repo-root]
+    python tools/check_docs.py [repo-root] [--no-exec]
 
-Two checks, both fail the build on violations:
+Three checks, all fail the build on violations:
 
 1. **Markdown links** — every relative link or image target in
    ``docs/*.md`` and ``README.md`` must resolve to an existing file or
@@ -15,13 +16,23 @@ Two checks, both fail the build on violations:
    ``src/repro`` (name not starting with ``_``) must carry a docstring.
    The public surface documented in ``docs/api.md`` defers to docstrings
    for full signatures, so they have to exist.
+3. **Doc execution** — every fenced code block whose info string is
+   exactly ``python`` is executable documentation.  Per file, the blocks
+   are concatenated top-to-bottom (pages build examples cumulatively)
+   and run as one script in a scratch directory with ``PYTHONPATH=src``;
+   a non-zero exit fails the lint.  Illustrative fragments opt out by
+   tagging the fence ``python snippet``.  Skip the whole check (e.g. in
+   an environment without numpy) with ``--no-exec``.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 import re
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 #: inline links/images: [text](target) — target captured up to ) or space
@@ -96,19 +107,95 @@ def check_docstrings(root: Path) -> list[str]:
     return errors
 
 
+def extract_python_blocks(md: Path) -> list[tuple[int, str]]:
+    """``(first_lineno, code)`` for each fence tagged exactly ``python``."""
+    blocks: list[tuple[int, str]] = []
+    fence_tag: str | None = None  # info string of the fence we are inside
+    start = 0
+    lines: list[str] = []
+    for lineno, line in enumerate(md.read_text().splitlines(), 1):
+        stripped = line.strip()
+        if _FENCE_RE.match(stripped):
+            if fence_tag is None:
+                fence_tag = stripped.lstrip("`~").strip()
+                start = lineno + 1
+                lines = []
+            else:
+                if fence_tag == "python":
+                    blocks.append((start, "\n".join(lines)))
+                fence_tag = None
+            continue
+        if fence_tag is not None:
+            lines.append(line)
+    return blocks
+
+
+def check_doc_execution(root: Path) -> tuple[list[str], int]:
+    """Run each page's ``python`` fences as one cumulative script."""
+    errors: list[str] = []
+    n_blocks = 0
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    for md in iter_markdown(root):
+        if not md.exists():
+            continue
+        blocks = extract_python_blocks(md)
+        if not blocks:
+            continue
+        n_blocks += len(blocks)
+        relpath = md.relative_to(root)
+        # One script per page: later blocks may use earlier blocks' names
+        # (tutorials define a worker, then run it).  Line directives keep
+        # tracebacks pointing at the markdown source.
+        script = "\n".join(
+            f"# --- {relpath} fence at line {lineno} ---\n{code}"
+            for lineno, code in blocks
+        )
+        with tempfile.TemporaryDirectory(prefix="docexec-") as scratch:
+            path = Path(scratch) / f"{md.stem}_doc.py"
+            path.write_text(script + "\n")
+            proc = subprocess.run(
+                [sys.executable, str(path)],
+                cwd=scratch,  # examples that write files stay out of the repo
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=600,
+            )
+        if proc.returncode != 0:
+            tail = (proc.stderr or proc.stdout).strip().splitlines()[-12:]
+            errors.append(
+                f"{relpath}: python examples failed (exit {proc.returncode}, "
+                f"{len(blocks)} blocks):\n    " + "\n    ".join(tail)
+            )
+    return errors, n_blocks
+
+
 def main(argv: list[str]) -> int:
-    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    args = [a for a in argv[1:] if a != "--no-exec"]
+    run_exec = "--no-exec" not in argv
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parents[1]
     link_errors = check_links(root)
     doc_errors = check_docstrings(root)
-    for err in link_errors + doc_errors:
+    exec_errors: list[str] = []
+    n_blocks = 0
+    if run_exec:
+        exec_errors, n_blocks = check_doc_execution(root)
+    for err in link_errors + doc_errors + exec_errors:
         print(err)
     n_md = sum(1 for _ in iter_markdown(root))
     print(
         f"checked {n_md} markdown files "
         f"({len(link_errors)} broken links), "
-        f"docstrings in src/repro ({len(doc_errors)} missing)"
+        f"docstrings in src/repro ({len(doc_errors)} missing), "
+        + (
+            f"executed {n_blocks} python doc blocks ({len(exec_errors)} pages failed)"
+            if run_exec
+            else "doc execution skipped (--no-exec)"
+        )
     )
-    return 1 if (link_errors or doc_errors) else 0
+    return 1 if (link_errors or doc_errors or exec_errors) else 0
 
 
 if __name__ == "__main__":
