@@ -1,0 +1,32 @@
+"""Explicit-state model checking for the protocol and DSE state machines.
+
+``repro.check`` drives the *existing* transport services
+(:mod:`repro.protocol`) and DSE message handlers (:mod:`repro.dse`)
+through a nondeterminism-controlled mini-harness: every frame delivery,
+loss, duplication, and timer firing becomes an explicit *choice*, and an
+iterative depth-first scheduler enumerates every choice sequence within
+a bounded scope (2-3 peers, a handful of messages, a small loss/dup/tick
+budget).  Canonical state fingerprints prune revisited states, sleep-set
+partial-order reduction commutes independent deliveries, and safety
+invariants are checked at every quiescent instant.  Violations come out
+as deterministic counterexample traces -- the exact choice sequence --
+that re-execute standalone (see :mod:`repro.check.scheduler`).
+
+Entry points:
+
+* :func:`repro.check.scheduler.explore` -- the checker core.
+* :mod:`repro.check.scopes` -- the named scope registry used by
+  ``dse-experiments check``.
+* :mod:`repro.check.mutants` -- reintroduced historical bugs for the
+  regression corpus (the checker must rediscover them).
+"""
+
+from .scheduler import (  # noqa: F401
+    Counterexample,
+    CheckResult,
+    ExplorationStats,
+    Violation,
+    explore,
+    replay_counterexample,
+)
+from .scopes import SCOPES, SMOKE_SCOPES, ScopeConfig, make_harness  # noqa: F401

@@ -1,0 +1,523 @@
+"""Model-checking harness for the DSE kernel protocols.
+
+Runs the *real* handler code -- :class:`~repro.dse.sync.SyncManager`,
+:class:`~repro.dse.gmem.GlobalMemoryManager` and the directory-based
+:class:`~repro.dse.coherence.CachingGlobalMemory` -- on top of a
+:class:`ModelKernel`/:class:`ModelExchange` pair that replaces the
+machine/transport stack with the checker's choice pool: every inter-
+kernel :class:`~repro.dse.messages.DSEMessage` parks in the pool until
+the scheduler delivers it, while local dispatch and compute stay inline
+(compute is free in the model -- only *message order* is explored).
+
+Because ``DSEMessage.seq`` comes from a module-level counter, raw
+sequence numbers differ between the scheduler's stateless re-executions.
+The harness therefore assigns dense *alias* numbers in deterministic
+program order and uses them in action descriptions and fingerprints;
+states that are isomorphic up to sequence renaming behave identically,
+so the renaming is sound for visited-set pruning.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dse.coherence import EXCLUSIVE, CachingGlobalMemory
+from ..dse.gmem import GlobalMemoryManager
+from ..dse.messages import DSEMessage, MsgType
+from ..dse.sync import SyncManager
+from ..sim.core import Simulator
+
+
+class _NoCostProcess:
+    """Stands in for ``kernel.unix_process``: compute costs nothing here."""
+
+    def compute(self, work):
+        return
+        yield  # pragma: no cover - generator parity
+
+
+class ModelExchange:
+    """The :class:`~repro.dse.exchange.MessageExchange` surface, pooled.
+
+    Local traffic dispatches inline (as the real exchange does); remote
+    messages go to the harness pool and the requester suspends on a
+    waiter event keyed by ``(kernel, seq)`` until the scheduler delivers
+    the response.
+    """
+
+    def __init__(self, harness: "DSEHarness", kernel: "ModelKernel"):
+        self.harness = harness
+        self.kernel = kernel
+        self.sim = kernel.sim
+
+    def request(self, msg: DSEMessage):
+        if msg.dst_kernel == self.kernel.kernel_id:
+            response = yield from self.kernel.dispatch(msg)
+            if response is None:  # deferred reply (lock queue, barrier)
+                response = yield from self._await(msg.seq)
+            return response
+        waiter = self.harness._register_waiter(self.kernel.kernel_id, msg.seq)
+        self.harness._pool_add(msg)
+        response = yield waiter
+        return response
+
+    def _await(self, seq: int):
+        waiter = self.harness._register_waiter(self.kernel.kernel_id, seq)
+        response = yield waiter
+        return response
+
+    def reply(self, response: DSEMessage):
+        if response.dst_kernel == self.kernel.kernel_id:
+            self.harness._resolve_waiter(self.kernel.kernel_id, response)
+        else:
+            self.harness._pool_add(response)
+        return
+        yield  # pragma: no cover - generator parity
+
+    def notify(self, msg: DSEMessage):
+        if msg.dst_kernel == self.kernel.kernel_id:
+            yield from self.kernel.dispatch(msg)
+            return
+        self.harness._pool_add(msg)
+
+
+class ModelKernel:
+    """Just enough of :class:`~repro.dse.kernel.DSEKernel` for the handlers.
+
+    ``cluster`` is an empty namespace -- the sanitizer/resilience/config
+    lookups in the real modules all go through ``getattr`` defaults, so
+    they resolve to "disabled" here.  ``dispatch`` mirrors the real
+    kernel's routing for the message types these scopes exercise.
+    """
+
+    def __init__(self, harness: "DSEHarness", kernel_id: int, cluster_size: int):
+        self.sim = harness.sim
+        self.kernel_id = kernel_id
+        self.cluster_size = cluster_size
+        self.cluster = SimpleNamespace()
+        self.unix_process = _NoCostProcess()
+        self.exchange = ModelExchange(harness, self)
+        self.sync = SyncManager(self)
+        self.gmem: Optional[GlobalMemoryManager] = None
+
+    def dispatch(self, msg: DSEMessage):
+        t = msg.msg_type
+        if t is MsgType.GM_READ_REQ:
+            return (yield from self.gmem.handle_read(msg))
+        if t is MsgType.GM_WRITE_REQ:
+            return (yield from self.gmem.handle_write(msg))
+        if t in (
+            MsgType.GM_FETCH_REQ,
+            MsgType.GM_OWN_REQ,
+            MsgType.GM_INV_REQ,
+            MsgType.GM_WB_REQ,
+        ):
+            return (yield from self.gmem.handle_coherence(msg))
+        if t is MsgType.LOCK_REQ:
+            return (yield from self.sync.handle_lock(msg))
+        if t is MsgType.UNLOCK_REQ:
+            return (yield from self.sync.handle_unlock(msg))
+        if t is MsgType.BARRIER_REQ:
+            return (yield from self.sync.handle_barrier(msg))
+        raise ValueError(f"model kernel cannot dispatch {t}")
+
+
+#: written values per worker in the coherence scope (worker i writes
+#: ``10 * i + 1``, so any post-write read must see one of these)
+def _coherence_value(worker: int) -> float:
+    return float(10 * worker + 1)
+
+
+class DSEHarness:
+    """One bounded DSE scenario (lock/barrier/coherence/gather).
+
+    The only nondeterminism is inter-kernel message delivery order --
+    there are no timers, losses, or duplications at this layer (the
+    transport scopes cover those), so ``enabled()`` is just one
+    ``deliver`` action per pooled message and a terminal state is simply
+    an empty pool.
+    """
+
+    benign_exceptions = ()
+
+    def __init__(
+        self,
+        scenario: str,
+        *,
+        workers: int = 2,
+        rounds: int = 1,
+        mutant: Optional[str] = None,
+    ):
+        if mutant not in (None, "no-barrier"):
+            raise ValueError(f"unknown dse mutant {mutant!r}")
+        if mutant == "no-barrier" and scenario != "gather":
+            raise ValueError("no-barrier mutant only applies to the gather scope")
+        self.scenario = scenario
+        self.n_workers = workers
+        self.rounds = rounds
+        self.mutant = mutant
+        self.sim = Simulator()
+        self.pool: List[list] = []  # [desc, msg]
+        self._waiters: Dict[Tuple[int, int], Any] = {}
+        self._seq_alias: Dict[int, int] = {}
+        self.in_cs: List[int] = []
+        self.errors: List[str] = []
+        self.rounds_done = [0] * workers
+        self._last_generation = 0
+        self.duplicate_responses = 0
+
+        # Gather runs one worker per kernel (the cross-homed cells *are*
+        # the point); the other scopes park kernel 0 as a pure server --
+        # lock home, barrier coordinator, memory home, directory home --
+        # so every worker operation is a remote message the scheduler can
+        # reorder.  A worker co-located with the server would run its
+        # whole round inline and leave nothing to explore.
+        cluster = workers if scenario == "gather" else workers + 1
+        #: lock named so ``sum(name.encode()) % cluster`` homes at kernel 0
+        self.lock_name = "L" * cluster
+        self.kernels = [ModelKernel(self, k, cluster) for k in range(cluster)]
+        if scenario == "coherence":
+            total_words = 1
+            for kernel in self.kernels:
+                kernel.gmem = CachingGlobalMemory(kernel, total_words, 1)
+        else:
+            # gather needs one cross-homed word per kernel; lock/barrier
+            # just need a counter word homed at kernel 0.
+            total_words = cluster if scenario == "gather" else 1
+            for kernel in self.kernels:
+                kernel.gmem = GlobalMemoryManager(kernel, total_words, 1)
+
+        bodies = {
+            "lock": self._lock_worker,
+            "barrier": self._barrier_worker,
+            "coherence": self._coherence_worker,
+            "gather": self._gather_worker,
+        }
+        try:
+            body = bodies[scenario]
+        except KeyError:
+            raise ValueError(f"unknown dse scenario {scenario!r}") from None
+        self.workers = [
+            self.sim.process(body(i), name=f"{scenario}:{i}")
+            for i in range(workers)
+        ]
+        self._drain()
+
+    def _worker_kernel(self, worker: int) -> ModelKernel:
+        if self.scenario == "gather":
+            return self.kernels[worker]
+        return self.kernels[worker + 1]  # kernel 0 is the server
+
+    # -- worker bodies ----------------------------------------------------
+    def _lock_worker(self, worker: int):
+        kernel = self._worker_kernel(worker)
+        for _ in range(self.rounds):
+            yield from kernel.sync.acquire(self.lock_name)
+            self.in_cs.append(worker)
+            current = yield from kernel.gmem.read(0, 1)
+            yield from kernel.gmem.write(0, [float(current[0]) + 1.0])
+            self.in_cs.remove(worker)
+            yield from kernel.sync.release(self.lock_name)
+            self.rounds_done[worker] += 1
+
+    def _barrier_worker(self, worker: int):
+        kernel = self._worker_kernel(worker)
+        for _ in range(self.rounds):
+            yield from kernel.sync.barrier("B", self.n_workers)
+            self.rounds_done[worker] += 1
+
+    def _coherence_worker(self, worker: int):
+        kernel = self._worker_kernel(worker)
+        legal = {_coherence_value(w) for w in range(self.n_workers)}
+        for _ in range(self.rounds):
+            yield from kernel.gmem.write(0, [_coherence_value(worker)])
+            value = yield from kernel.gmem.read(0, 1)
+            if float(value[0]) not in legal:
+                self.errors.append(
+                    f"worker {worker} read {float(value[0]):g}, not one of {sorted(legal)}"
+                )
+            self.rounds_done[worker] += 1
+
+    def _gather_worker(self, worker: int):
+        # Worker i fills its neighbour's cell, synchronizes, then reads its
+        # own cell -- the Gauss-Seidel gather pattern.  The "no-barrier"
+        # mutant reproduces PR 3's race: the local read can see the zero
+        # initial value because the neighbour's remote write is still
+        # in flight.
+        kernel = self._worker_kernel(worker)
+        neighbour = (worker + 1) % self.n_workers
+        yield from kernel.gmem.write(neighbour, [float(worker + 1)])
+        if self.mutant != "no-barrier":
+            yield from kernel.sync.barrier("gather", self.n_workers)
+        value = yield from kernel.gmem.read(worker, 1)
+        writer = (worker - 1) % self.n_workers
+        want = float(writer + 1)
+        if float(value[0]) != want:
+            self.errors.append(
+                f"worker {worker} gathered {float(value[0]):g}, expected {want:g} "
+                "(stale read: neighbour's write not yet visible)"
+            )
+        self.rounds_done[worker] += 1
+
+    # -- pool plumbing ----------------------------------------------------
+    def _alias(self, seq: int) -> int:
+        alias = self._seq_alias.get(seq)
+        if alias is None:
+            alias = self._seq_alias[seq] = len(self._seq_alias)
+        return alias
+
+    def _msg_desc(self, msg: DSEMessage) -> str:
+        data = msg.data
+        if data is None:
+            digest = ""
+        elif isinstance(data, np.ndarray):
+            digest = ",".join(f"{v:g}" for v in data.ravel())
+        else:
+            digest = repr(data)
+        return (
+            f"{msg.msg_type.value} k{msg.src_kernel}>k{msg.dst_kernel} "
+            f"s{self._alias(msg.seq)} addr={msg.addr} n={msg.nwords} "
+            f"name={msg.name!r} st={msg.status} [{digest}]"
+        )
+
+    def _pool_add(self, msg: DSEMessage) -> None:
+        self.pool.append([self._msg_desc(msg), msg])
+
+    def _register_waiter(self, kernel_id: int, seq: int):
+        self._alias(seq)
+        waiter = self.sim.event(name=f"waiter:k{kernel_id}:s{self._alias(seq)}")
+        self._waiters[(kernel_id, seq)] = waiter
+        return waiter
+
+    def _resolve_waiter(self, kernel_id: int, response: DSEMessage) -> None:
+        waiter = self._waiters.pop((kernel_id, response.seq), None)
+        if waiter is None:
+            self.duplicate_responses += 1
+            return
+        waiter.succeed(response)
+
+    def _serve(self, kernel: ModelKernel, msg: DSEMessage):
+        response = yield from kernel.dispatch(msg)
+        if response is not None:
+            yield from kernel.exchange.reply(response)
+
+    def _drain(self) -> None:
+        sim = self.sim
+        while sim.peek() <= sim.now:
+            sim.step()
+
+    # -- scheduler interface ----------------------------------------------
+    def enabled(self) -> List[Tuple[str, ...]]:
+        return [("deliver", desc) for desc in sorted({e[0] for e in self.pool})]
+
+    def apply(self, action: Tuple[str, ...]) -> None:
+        op = action[0]
+        if op != "deliver":
+            raise ValueError(f"unknown action {action!r}")
+        for i, entry in enumerate(self.pool):
+            if entry[0] == action[1]:
+                msg = self.pool.pop(i)[1]
+                break
+        else:
+            raise KeyError(f"no pooled message {action[1]!r}")
+        kernel = self.kernels[msg.dst_kernel]
+        if msg.is_request:
+            self.sim.process(self._serve(kernel, msg), name=f"serve:{action[1]}")
+        else:
+            self._resolve_waiter(msg.dst_kernel, msg)
+        self._drain()
+
+    def is_truncated(self) -> bool:
+        return False
+
+    def independent(self, a: Tuple[str, ...], b: Tuple[str, ...]) -> bool:
+        # Deliveries commute iff they target different kernels: a handler
+        # only mutates its own kernel's state (plus the shared pool, which
+        # is order-insensitive).
+        da = self._desc_dst(a[1])
+        db = self._desc_dst(b[1])
+        return da is not None and db is not None and da != db
+
+    def _desc_dst(self, desc: str) -> Optional[int]:
+        for entry in self.pool:
+            if entry[0] == desc:
+                return entry[1].dst_kernel
+        return None
+
+    # -- verdicts ----------------------------------------------------------
+    def invariant_errors(self) -> List[str]:
+        errors = list(self.errors)
+        if len(self.in_cs) > 1:
+            errors.append(f"mutual exclusion violated: workers {self.in_cs} in CS")
+        generation = self._barrier_generation()
+        if generation is not None:
+            if generation < self._last_generation:
+                errors.append(
+                    f"barrier generation went backwards: "
+                    f"{self._last_generation} -> {generation}"
+                )
+            self._last_generation = max(self._last_generation, generation)
+        if self.scenario == "barrier" and self.rounds_done:
+            spread = max(self.rounds_done) - min(self.rounds_done)
+            if spread > 1:
+                errors.append(f"barrier round spread {self.rounds_done} > 1")
+        errors.extend(self._coherence_invariants())
+        return errors
+
+    def _barrier_generation(self) -> Optional[int]:
+        barriers = self.kernels[0].sync._barriers
+        for state in barriers.values():
+            return state.generation
+        return None
+
+    def _coherence_invariants(self) -> List[str]:
+        if self.scenario != "coherence":
+            return []
+        errors = []
+        blocks = set()
+        for kernel in self.kernels:
+            blocks.update(kernel.gmem._cache)
+            blocks.update(kernel.gmem._directory)
+        for block in sorted(blocks):
+            holders = []
+            for kernel in self.kernels:
+                line = kernel.gmem._cache.get(block)
+                if line is None:
+                    continue
+                if line.dirty and line.state != EXCLUSIVE:
+                    errors.append(
+                        f"k{kernel.kernel_id} block {block}: dirty but "
+                        f"state {line.state!r}"
+                    )
+                holders.append((kernel.kernel_id, line.state))
+            exclusive = [k for k, state in holders if state == EXCLUSIVE]
+            if len(exclusive) > 1:
+                errors.append(
+                    f"block {block}: multiple exclusive holders {exclusive}"
+                )
+            if exclusive and len(holders) > 1:
+                errors.append(
+                    f"block {block}: exclusive holder k{exclusive[0]} "
+                    f"coexists with {holders}"
+                )
+        return errors
+
+    def goal_errors(self) -> List[str]:
+        errors = []
+        for worker in self.workers:
+            if not worker.triggered:
+                errors.append(f"worker {worker.name!r} never completed (wedged)")
+        if self._waiters:
+            pending = sorted(
+                f"k{k}:s{self._alias(seq)}" for (k, seq) in self._waiters
+            )
+            errors.append(f"dangling response waiters: {pending} (lost wakeup)")
+        if self.duplicate_responses:
+            errors.append(f"{self.duplicate_responses} unclaimed responses")
+        if self.scenario == "lock":
+            counter = float(self.kernels[0].gmem._local_read(0, 1)[0])
+            want = float(self.n_workers * self.rounds)
+            if counter != want:
+                errors.append(f"lock-protected counter {counter} != {want}")
+            for state in self.kernels[0].sync._locks.values():
+                if state.held_by != -1 or state.waiters:
+                    errors.append(
+                        f"terminal lock state held_by={state.held_by} "
+                        f"waiters={len(state.waiters)}"
+                    )
+        if self.scenario == "barrier":
+            generation = self._barrier_generation()
+            if generation != self.rounds:
+                errors.append(
+                    f"terminal barrier generation {generation} != {self.rounds}"
+                )
+        if self.scenario == "coherence":
+            errors.extend(self._coherence_terminal_errors())
+        return errors
+
+    def _coherence_terminal_errors(self) -> List[str]:
+        errors = []
+        legal = {_coherence_value(w) for w in range(self.n_workers)}
+        home = self.kernels[0].gmem
+        for kernel in self.kernels:
+            if kernel.gmem._pending:
+                errors.append(
+                    f"k{kernel.kernel_id}: pending fills "
+                    f"{sorted(kernel.gmem._pending)} at terminal state"
+                )
+        for block, entry in home._directory.items():
+            if entry.mutex.locked or entry.mutex.queue:
+                errors.append(f"block {block}: directory mutex still held")
+            if entry.owner is not None:
+                line = self.kernels[entry.owner].gmem._cache.get(block)
+                if line is None or line.state != EXCLUSIVE:
+                    errors.append(
+                        f"block {block}: directory owner k{entry.owner} "
+                        "holds no exclusive line"
+                    )
+        # The effective value (owner's dirty line, else home storage) must
+        # be one of the values actually written.
+        value = float(home._local_read(0, 1)[0])
+        for kernel in self.kernels:
+            line = kernel.gmem._cache.get(0)
+            if line is not None and line.dirty:
+                value = float(line.data[0])
+        if value not in legal:
+            errors.append(f"terminal memory value {value} not in {sorted(legal)}")
+        return errors
+
+    def fingerprint(self) -> tuple:
+        kernels = []
+        for kernel in self.kernels:
+            sync = kernel.sync
+            locks = tuple(
+                (
+                    name,
+                    state.held_by,
+                    state.held_acc,
+                    tuple(self._alias(m.seq) for m in state.waiters),
+                )
+                for name, state in sorted(sync._locks.items())
+            )
+            barriers = tuple(
+                (
+                    name,
+                    state.generation,
+                    tuple(sorted(self._alias(m.seq) for m in state.arrived)),
+                )
+                for name, state in sorted(sync._barriers.items())
+            )
+            gmem = kernel.gmem
+            mem: tuple = (gmem.storage.tobytes(),)
+            if isinstance(gmem, CachingGlobalMemory):
+                cache = tuple(
+                    (block, line.state, line.dirty, line.data.tobytes())
+                    for block, line in sorted(gmem._cache.items())
+                )
+                directory = tuple(
+                    (
+                        block,
+                        entry.owner,
+                        tuple(sorted(entry.sharers)),
+                        entry.mutex.locked,
+                        len(entry.mutex.queue),
+                    )
+                    for block, entry in sorted(gmem._directory.items())
+                )
+                mem = mem + (cache, directory, tuple(sorted(gmem._pending)))
+            kernels.append((locks, barriers, mem))
+        return (
+            tuple(sorted(entry[0] for entry in self.pool)),
+            tuple(
+                sorted((k, self._alias(seq)) for (k, seq) in self._waiters)
+            ),
+            tuple(kernels),
+            tuple(self.in_cs),
+            tuple(self.rounds_done),
+            tuple(self.errors),
+            self.duplicate_responses,
+            tuple(worker.triggered for worker in self.workers),
+        )

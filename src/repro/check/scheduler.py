@@ -1,0 +1,333 @@
+"""The explicit-state exploration core: stateless DFS + sleep sets.
+
+The scheduler owns *no* protocol knowledge.  It works against a harness
+object (built fresh for every path by a zero-argument factory) exposing:
+
+``enabled()``
+    Sorted list of currently enabled actions.  An action is a small
+    tuple of strings/ints, e.g. ``("deliver", desc)`` -- JSON-friendly
+    so counterexamples serialize as-is.
+``apply(action)``
+    Execute one action and drain the simulation to quiescence.
+``invariant_errors()``
+    Safety-invariant violations at the current (quiescent) state.
+``fingerprint()``
+    Canonical hashable state summary for visited-set pruning.
+``goal_errors()``
+    Liveness/functional errors, consulted only at *terminal* states
+    (no enabled actions, nothing truncated): a non-empty list means the
+    system wedged short of its goal -- the "lost wakeup" signature.
+``is_truncated()``
+    True when ``enabled()`` is empty because a scope *budget* ran out
+    (e.g. no ticks left while retransmit timers are pending); such
+    paths end benignly instead of being reported as wedges.
+``independent(a, b)``
+    Commutativity oracle for sleep-set partial-order reduction.
+``benign_exceptions``
+    Exception types that mean "the protocol gave up as designed"
+    (e.g. retry exhaustion under adversarial scheduling) -- counted,
+    not reported.
+
+Exploration is *stateless* in the model-checking sense: to branch, the
+scheduler re-executes a fresh harness from the root replaying the choice
+prefix, which keeps harnesses free of any snapshot/undo machinery.  The
+visited set records, per fingerprint, the sleep sets it was reached
+with; a state is pruned only when a recorded sleep set is a subset of
+the current one (the standard soundness condition for combining sleep
+sets with state caching).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+#: an action is a JSON-friendly tuple, e.g. ``("deliver", "<desc>")``
+Action = Tuple[str, ...]
+
+
+@dataclass
+class ExplorationStats:
+    """Counters describing one exploration run."""
+
+    paths: int = 0  #: complete paths that reached a terminal state
+    truncated: int = 0  #: paths cut off by a depth/budget bound
+    benign_exhaustions: int = 0  #: paths ended by a declared protocol give-up
+    choice_points: int = 0  #: states with >1 runnable action
+    actions: int = 0  #: total actions executed (including prefix replays)
+    states: int = 0  #: distinct fingerprints recorded
+    pruned: int = 0  #: branches cut by the visited set
+    sleep_skips: int = 0  #: enabled actions skipped by sleep sets
+    max_depth: int = 0  #: longest path, in actions
+
+    def summary(self) -> str:
+        return (
+            f"paths={self.paths} truncated={self.truncated} "
+            f"gave_up={self.benign_exhaustions} "
+            f"choice_points={self.choice_points} actions={self.actions} "
+            f"states={self.states} pruned={self.pruned} "
+            f"sleep_skips={self.sleep_skips} max_depth={self.max_depth}"
+        )
+
+
+@dataclass
+class Violation:
+    """One invariant/goal/crash violation with its full choice trace."""
+
+    kind: str  #: "invariant" | "wedge" | "crash"
+    detail: str
+    trace: Tuple[Action, ...]
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail} ({len(self.trace)} steps)"
+
+
+@dataclass
+class Counterexample:
+    """A serializable violation: scope name + exact choice sequence.
+
+    ``save``/``load`` round-trip through JSON so traces can be committed
+    as a regression corpus and re-executed standalone (the trace *is*
+    the schedule; replaying it through a fresh harness is deterministic).
+    """
+
+    scope: str
+    kind: str
+    detail: str
+    trace: Tuple[Action, ...]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "scope": self.scope,
+                "kind": self.kind,
+                "detail": self.detail,
+                "trace": [list(a) for a in self.trace],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Counterexample":
+        raw = json.loads(text)
+        return cls(
+            scope=raw["scope"],
+            kind=raw["kind"],
+            detail=raw["detail"],
+            trace=tuple(tuple(a) for a in raw["trace"]),
+        )
+
+    def save(self, path: "str | Path") -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Counterexample":
+        return cls.from_json(Path(path).read_text())
+
+
+@dataclass
+class CheckResult:
+    """Outcome of exploring one scope."""
+
+    scope: str
+    violations: List[Violation] = field(default_factory=list)
+    stats: ExplorationStats = field(default_factory=ExplorationStats)
+    #: True when the scope was explored to exhaustion (no caps hit)
+    complete: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counterexamples(self) -> List[Counterexample]:
+        return [
+            Counterexample(self.scope, v.kind, v.detail, v.trace)
+            for v in self.violations
+        ]
+
+
+class _PathEnded(Exception):
+    """Internal: the current path terminated (benignly or with a verdict)."""
+
+
+def _apply(harness, action: Action, stats: ExplorationStats):
+    """Run one action; returns None, "benign", or a crash Violation."""
+    stats.actions += 1
+    try:
+        harness.apply(action)
+    except harness.benign_exceptions as exc:
+        return "benign:" + type(exc).__name__
+    except Exception as exc:  # noqa: BLE001 - any other escape is a finding
+        return Violation(
+            "crash", f"{type(exc).__name__}: {exc}", trace=()
+        )
+    return None
+
+
+def explore(
+    make_harness: Callable[[], object],
+    *,
+    scope: str = "scope",
+    max_steps: int = 60,
+    max_violations: int = 1,
+    max_paths: int = 500_000,
+    por: bool = True,
+) -> CheckResult:
+    """Exhaustively explore every schedule of ``make_harness()``.
+
+    ``max_steps`` bounds path depth (paths beyond it count as
+    truncated), ``max_violations`` stops the search after that many
+    findings, and ``max_paths`` is a runaway guard -- hitting it clears
+    ``result.complete``.  ``por=False`` disables sleep-set reduction
+    (the visited set stays on), which is useful to cross-check that
+    reduction does not change the verdict.
+    """
+    result = CheckResult(scope=scope)
+    stats = result.stats
+    # visited: fingerprint -> list of sleep frozensets it was reached with
+    visited: dict = {}
+    # DFS stack of pending branches: (choice prefix, sleep set at branch)
+    stack: List[Tuple[Tuple[Action, ...], frozenset]] = [((), frozenset())]
+
+    while stack:
+        if stats.paths + stats.truncated + stats.benign_exhaustions >= max_paths:
+            result.complete = False
+            break
+        if len(result.violations) >= max_violations:
+            break
+        prefix, sleep_frozen = stack.pop()
+        harness = make_harness()
+        abandoned = False
+        for action in prefix:
+            # Prefixes replay states that were checked when first pushed,
+            # so verdicts here can only come from the new final action.
+            verdict = _apply(harness, action, stats)
+            if verdict is not None:
+                if isinstance(verdict, Violation):
+                    verdict.trace = prefix
+                    result.violations.append(verdict)
+                else:
+                    stats.benign_exhaustions += 1
+                abandoned = True
+                break
+        if abandoned:
+            continue
+
+        trace = list(prefix)
+        sleep = set(sleep_frozen)
+        while True:
+            stats.max_depth = max(stats.max_depth, len(trace))
+            errors = harness.invariant_errors()
+            if errors:
+                result.violations.append(
+                    Violation("invariant", "; ".join(errors), tuple(trace))
+                )
+                break
+
+            fp = harness.fingerprint()
+            recorded = visited.get(fp)
+            if recorded is not None and any(s <= sleep for s in recorded):
+                stats.pruned += 1
+                break
+            if recorded is None:
+                visited[fp] = [frozenset(sleep)]
+                stats.states += 1
+            else:
+                # Keep only minimal sleep sets for this fingerprint.
+                recorded[:] = [s for s in recorded if not (sleep < s)]
+                recorded.append(frozenset(sleep))
+
+            enabled = harness.enabled()
+            if not enabled:
+                if harness.is_truncated():
+                    stats.truncated += 1
+                else:
+                    goal = harness.goal_errors()
+                    if goal:
+                        result.violations.append(
+                            Violation("wedge", "; ".join(goal), tuple(trace))
+                        )
+                    else:
+                        stats.paths += 1
+                break
+            if len(trace) >= max_steps:
+                stats.truncated += 1
+                break
+
+            runnable = [a for a in enabled if a not in sleep]
+            stats.sleep_skips += len(enabled) - len(runnable)
+            if not runnable:
+                # Every enabled action is covered by a sibling branch.
+                stats.pruned += 1
+                break
+            if len(runnable) > 1:
+                stats.choice_points += 1
+                base = tuple(trace)
+                for j in range(len(runnable) - 1, 0, -1):
+                    branch_action = runnable[j]
+                    if por:
+                        branch_sleep = frozenset(
+                            b
+                            # set -> set, so order cannot leak:
+                            for b in set(runnable[:j]) | sleep  # lint: allow-unsorted-set-iter
+                            if harness.independent(b, branch_action)
+                        )
+                    else:
+                        branch_sleep = frozenset()
+                    stack.append((base + (branch_action,), branch_sleep))
+
+            first = runnable[0]
+            if por:
+                sleep = {  # set -> set, so order cannot leak:
+                    b for b in sleep if harness.independent(b, first)  # lint: allow-unsorted-set-iter
+                }
+            verdict = _apply(harness, first, stats)
+            trace.append(first)
+            if verdict is not None:
+                if isinstance(verdict, Violation):
+                    verdict.trace = tuple(trace)
+                    result.violations.append(verdict)
+                else:
+                    stats.benign_exhaustions += 1
+                break
+
+    return result
+
+
+def replay_counterexample(
+    make_harness: Callable[[], object],
+    counterexample: Counterexample,
+) -> Iterator[Tuple[int, Action, List[str]]]:
+    """Re-execute a counterexample trace step by step.
+
+    Yields ``(step, action, invariant_errors)`` after each applied
+    action; at the final step the harness's goal errors are appended so
+    wedge counterexamples surface their verdict too.  Replay is
+    deterministic: the trace *is* the complete schedule.
+    """
+    harness = make_harness()
+    stats = ExplorationStats()
+    last = len(counterexample.trace) - 1
+    for step, action in enumerate(counterexample.trace):
+        verdict = _apply(harness, action, stats)
+        errors = list(harness.invariant_errors())
+        if isinstance(verdict, Violation):
+            errors.append(f"crash: {verdict.detail}")
+        elif isinstance(verdict, str):
+            errors.append(verdict)
+        if step == last and not harness.enabled() and not harness.is_truncated():
+            errors.extend(harness.goal_errors())
+        yield step, action, errors
+        if verdict is not None:
+            return
+
+
+def violation_summary(result: CheckResult) -> str:
+    """One line per violation -- shared by the CLI and tests."""
+    if result.ok:
+        return f"{result.scope}: ok ({result.stats.summary()})"
+    lines = [f"{result.scope}: {len(result.violations)} violation(s)"]
+    lines.extend(f"  {v}" for v in result.violations)
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The named scope registry behind ``dse-experiments check``.
+
+A :class:`ScopeConfig` is one bounded scenario: which harness family
+(transport or DSE), the protocol/scenario kind, and the nondeterminism
+budgets.  Scopes are sized so exhaustive exploration finishes in
+seconds -- the small-scope hypothesis: protocol bugs that exist at all
+show up with 2-3 peers, a handful of messages, and one or two faults.
+
+``mutant`` scopes reintroduce a historical bug (see
+:mod:`repro.check.mutants`) and are *expected* to produce a violation;
+the CLI inverts their verdict so CI can assert the checker still finds
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ScopeConfig:
+    """One bounded, exhaustively explorable scenario."""
+
+    name: str
+    family: str  #: "transport" or "dse"
+    kind: str  #: transport kind / DSE scenario name
+    description: str = ""
+    messages: int = 2
+    window: int = 2
+    loss_budget: int = 1
+    dup_budget: int = 0
+    tick_budget: int = 3
+    max_steps: int = 40
+    workers: int = 2
+    rounds: int = 1
+    mutant: Optional[str] = None  #: expected-violation scopes name their bug
+    extra: Tuple[Tuple[str, object], ...] = field(default=())
+
+    @property
+    def expect_violation(self) -> bool:
+        return self.mutant is not None
+
+
+def make_harness(config: ScopeConfig):
+    """Build a fresh harness for one path through ``config``'s scope."""
+    if config.family == "transport":
+        from .mutants import LostWakeupReliableService
+        from .transport_harness import TransportHarness
+
+        service_cls = None
+        if config.mutant == "lost-wakeup":
+            service_cls = LostWakeupReliableService
+        elif config.mutant is not None:
+            raise ValueError(f"unknown transport mutant {config.mutant!r}")
+        return TransportHarness(
+            config.kind,
+            messages=config.messages,
+            window=config.window,
+            loss_budget=config.loss_budget,
+            dup_budget=config.dup_budget,
+            tick_budget=config.tick_budget,
+            service_cls=service_cls,
+        )
+    if config.family == "dse":
+        from .dse_harness import DSEHarness
+
+        return DSEHarness(
+            config.kind,
+            workers=config.workers,
+            rounds=config.rounds,
+            mutant=config.mutant,
+        )
+    raise ValueError(f"unknown scope family {config.family!r}")
+
+
+def _registry() -> Dict[str, ScopeConfig]:
+    sw = ScopeConfig(
+        name="sw",
+        family="transport",
+        kind="reliable",
+        description="stop-and-wait, 2 pipelined sends, 1 loss + 1 dup",
+        messages=2,
+        loss_budget=1,
+        dup_budget=1,
+        tick_budget=2,
+    )
+    scopes = [
+        sw,
+        replace(
+            sw,
+            name="sw-lost-wakeup",
+            mutant="lost-wakeup",
+            description="PR 3's ack-before-check bug reintroduced "
+            "(must wedge: sender confirmed, payload lost)",
+        ),
+        ScopeConfig(
+            name="gbn",
+            family="transport",
+            kind="reliable-gbn",
+            description="go-back-N, 2 messages in a 2-window, 1 loss + 1 dup",
+            messages=2,
+            window=2,
+            loss_budget=1,
+            dup_budget=1,
+            tick_budget=2,
+        ),
+        ScopeConfig(
+            name="sr",
+            family="transport",
+            kind="sr",
+            description="selective repeat + SACK, 3 messages, 1 loss",
+            messages=3,
+            window=3,
+            loss_budget=1,
+            dup_budget=0,
+            tick_budget=2,
+            max_steps=60,
+        ),
+        ScopeConfig(
+            name="dual",
+            family="transport",
+            kind="dual",
+            description="dual-channel: 2 reliable + 1 raw message, 1 loss",
+            messages=2,
+            window=2,
+            loss_budget=1,
+            dup_budget=0,
+            tick_budget=2,
+        ),
+        ScopeConfig(
+            name="lock",
+            family="dse",
+            kind="lock",
+            description="2 client kernels contend one lock around a remote "
+            "read-modify-write, 2 rounds (mutual exclusion + final count)",
+            workers=2,
+            rounds=2,
+            loss_budget=0,
+            tick_budget=0,
+            max_steps=60,
+        ),
+        ScopeConfig(
+            name="barrier",
+            family="dse",
+            kind="barrier",
+            description="3 client kernels x 2 barrier rounds (generation "
+            "monotonicity, round spread <= 1)",
+            workers=3,
+            rounds=2,
+            loss_budget=0,
+            tick_budget=0,
+            max_steps=60,
+        ),
+        ScopeConfig(
+            name="coherence",
+            family="dse",
+            kind="coherence",
+            description="3 client kernels write+read one cached block, "
+            "2 rounds (single-writer, directory/cache agreement)",
+            workers=3,
+            rounds=2,
+            loss_budget=0,
+            tick_budget=0,
+            max_steps=80,
+        ),
+        ScopeConfig(
+            name="gather",
+            family="dse",
+            kind="gather",
+            description="cross-homed writes + barrier + local reads "
+            "(the Gauss-Seidel gather pattern, fixed form)",
+            workers=2,
+            rounds=1,
+            loss_budget=0,
+            tick_budget=0,
+            max_steps=60,
+        ),
+        ScopeConfig(
+            name="gather-race",
+            family="dse",
+            kind="gather",
+            mutant="no-barrier",
+            description="PR 3's gather race reintroduced: barrier removed, "
+            "reads may see stale neighbour cells",
+            workers=2,
+            rounds=1,
+            loss_budget=0,
+            tick_budget=0,
+            max_steps=60,
+        ),
+    ]
+    return {scope.name: scope for scope in scopes}
+
+
+#: every named scope, keyed by name
+SCOPES: Dict[str, ScopeConfig] = _registry()
+
+#: the bounded subset CI runs on every push (< ~2 min total)
+SMOKE_SCOPES: Tuple[str, ...] = ("sw", "gbn", "sr", "coherence")
+
+#: mutant scopes whose violation the CI run must reproduce
+MUTANT_SCOPES: Tuple[str, ...] = ("sw-lost-wakeup", "gather-race")

@@ -50,6 +50,17 @@ callback fan-out histogram (see :mod:`repro.perf` and
     dse-experiments profile-engine --workload gauss-seidel --processors 6
     dse-experiments profile-engine --bench ps_churn
 
+The ``check`` subcommand model-checks the transport/coherence protocol
+state machines over bounded scopes: it exhaustively enumerates every
+delivery order, loss, and duplication decision, checks safety invariants
+at each state, and emits replayable counterexample traces (see
+:mod:`repro.check` and ``docs/checking.md``)::
+
+    dse-experiments check --smoke
+    dse-experiments check --mutants
+    dse-experiments check sw-lost-wakeup --save-trace traces/
+    dse-experiments check --replay traces/sw-lost-wakeup.json
+
 The ``replay`` subcommand records a run into a checkpoint ring and lets
 you seek/inspect/resume any simulated instant of it; ``live`` streams a
 running simulation's vitals as JSON lines (see :mod:`repro.replay` and
@@ -308,6 +319,10 @@ def main(argv: List[str] | None = None) -> int:
         from ..resilience.cli import resilience_main
 
         return resilience_main(argv[1:])
+    if argv and argv[0] == "check":
+        from ..check.cli import check_main
+
+        return check_main(argv[1:])
     if argv and argv[0] == "replay":
         from ..replay.cli import replay_main
 

@@ -1,0 +1,168 @@
+"""Tests for repro.check, the protocol model checker.
+
+The load-bearing claims: clean scopes explore to exhaustion with zero
+violations, the reintroduced historical bugs are rediscovered with short
+deterministic counterexamples, partial-order reduction never changes a
+verdict, and the committed counterexample corpus keeps replaying.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    SCOPES,
+    Counterexample,
+    explore,
+    make_harness,
+    replay_counterexample,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CORPUS_DIR = REPO_ROOT / "tests" / "data" / "checker_corpus"
+
+
+def run_scope(config, **overrides):
+    return explore(
+        lambda: make_harness(config),
+        scope=config.name,
+        max_steps=overrides.pop("max_steps", config.max_steps),
+        **overrides,
+    )
+
+
+#: a trimmed clean stop-and-wait scope for the fast structural tests
+SW_SMALL = replace(SCOPES["sw"], name="sw-small", dup_budget=0)
+
+
+# -- clean scopes explore to exhaustion ---------------------------------------
+def test_stop_and_wait_scope_is_exhaustive_and_clean():
+    result = run_scope(SCOPES["sw"])
+    assert result.ok
+    assert result.complete, "scope must be fully explored, not capped"
+    assert result.stats.paths > 50
+    assert result.stats.states > 1000
+    assert result.stats.pruned > 0, "state caching must actually prune"
+
+
+def test_selective_repeat_small_scope_is_clean():
+    config = replace(
+        SCOPES["sr"], name="sr-small", messages=2, window=2, max_steps=40
+    )
+    result = run_scope(config)
+    assert result.ok and result.complete
+
+
+def test_dse_scopes_are_clean():
+    for name in ("lock", "gather"):
+        result = run_scope(SCOPES[name])
+        assert result.ok, f"{name}: {result.violations}"
+        assert result.complete
+        assert result.stats.choice_points > 0, (
+            f"{name} explored no interleavings - the scope is degenerate"
+        )
+
+
+# -- historical bugs are rediscovered -----------------------------------------
+def test_lost_wakeup_mutant_rediscovered_with_short_trace():
+    result = run_scope(SCOPES["sw-lost-wakeup"])
+    assert not result.ok, "the reintroduced ack-before-check bug must be found"
+    ce = result.counterexamples()[0]
+    assert len(ce.trace) <= 30
+    assert "lost wakeup" in ce.detail
+    # The signature schedule: a dropped first segment, a delivered second.
+    assert any(action[0] == "drop" for action in ce.trace)
+
+
+def test_gather_race_mutant_rediscovered():
+    result = run_scope(SCOPES["gather-race"])
+    assert not result.ok
+    ce = result.counterexamples()[0]
+    assert len(ce.trace) <= 30
+    assert "stale read" in ce.detail
+
+
+# -- counterexamples replay deterministically ---------------------------------
+def test_counterexample_replay_is_deterministic_and_json_round_trips():
+    config = SCOPES["sw-lost-wakeup"]
+    ce = run_scope(config).counterexamples()[0]
+    ce = Counterexample.from_json(ce.to_json())  # round-trip
+    runs = [
+        [
+            (step, action, tuple(errors))
+            for step, action, errors in replay_counterexample(
+                lambda: make_harness(config), ce
+            )
+        ]
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+    assert runs[0], "replay must re-execute the recorded schedule"
+    final_errors = runs[0][-1][2]
+    assert any("lost wakeup" in error for error in final_errors)
+
+
+# -- partial-order reduction is sound -----------------------------------------
+def test_por_and_full_exploration_agree_on_clean_scope():
+    with_por = run_scope(SW_SMALL, por=True)
+    without = run_scope(SW_SMALL, por=False)
+    assert with_por.ok and without.ok
+    assert with_por.complete and without.complete
+    assert with_por.stats.paths <= without.stats.paths
+
+
+def test_por_and_full_exploration_agree_on_buggy_scope():
+    config = replace(SCOPES["sw-lost-wakeup"], dup_budget=0)
+    assert not run_scope(config, por=True).ok
+    assert not run_scope(config, por=False).ok
+
+
+# -- the committed counterexample corpus --------------------------------------
+def test_corpus_exists_and_names_known_scopes():
+    traces = sorted(CORPUS_DIR.glob("*.json"))
+    assert {t.stem for t in traces} >= {"sw-lost-wakeup", "gather-race"}
+    for trace in traces:
+        assert Counterexample.load(trace).scope in SCOPES
+
+
+@pytest.mark.parametrize("stem", ["sw-lost-wakeup", "gather-race"])
+def test_corpus_trace_still_reproduces_its_violation(stem):
+    ce = Counterexample.load(CORPUS_DIR / f"{stem}.json")
+    config = SCOPES[ce.scope]
+    steps = list(replay_counterexample(lambda: make_harness(config), ce))
+    assert steps
+    assert any(errors for _, _, errors in steps), (
+        f"{stem}: committed counterexample no longer reproduces - either a "
+        "real fix landed (regenerate the corpus) or replay determinism broke"
+    )
+
+
+# -- the CLI ------------------------------------------------------------------
+def test_cli_list_and_unknown_scope(capsys):
+    from repro.check.cli import check_main
+
+    assert check_main(["--list"]) == 0
+    assert "sw-lost-wakeup" in capsys.readouterr().out
+    assert check_main(["no-such-scope"]) == 2
+    assert "known:" in capsys.readouterr().err
+
+
+def test_cli_runs_mutant_scope_and_replays_corpus(capsys, tmp_path):
+    from repro.check.cli import check_main
+
+    assert check_main(["gather-race", "--save-trace", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "rediscovered" in out and "identical (deterministic)" in out
+    saved = tmp_path / "gather-race.json"
+    assert saved.exists()
+    assert check_main(["--replay", str(saved)]) == 0
+    assert "violation reproduced" in capsys.readouterr().out
+
+
+def test_cli_reports_exploration_statistics(capsys):
+    from repro.check.cli import check_main
+
+    assert check_main(["lock"]) == 0
+    out = capsys.readouterr().out
+    assert "paths=" in out and "states=" in out and "pruned=" in out

@@ -86,7 +86,7 @@ def test_global_random_flags_module_level_draws(tmp_path):
     source = (
         "import random\nimport numpy as np\n"
         "a = random.random()\n"
-        "b = random.shuffle([1])\n"
+        "b = random.randint(0, 3)\n"
         "c = np.random.rand(3)\n"
     )
     assert rules_of(lint_source(tmp_path, source)) == ["global-random"] * 3
@@ -100,6 +100,56 @@ def test_global_random_allows_seeded_constructors(tmp_path):
         "g = np.random.default_rng(7)\n"
         "ss = np.random.SeedSequence(7)\n"
     )
+    assert lint_source(tmp_path, source) == []
+
+
+# -- unseeded-shuffle ---------------------------------------------------------
+def test_unseeded_shuffle_gets_its_own_rule(tmp_path):
+    # Ordering decisions on the shared RNG outrank plain global-random:
+    # they get a dedicated rule name so suppressions stay precise.
+    source = (
+        "import random\nimport numpy as np\n"
+        "random.shuffle([1, 2])\n"
+        "x = random.choice([1, 2])\n"
+        "y = random.sample([1, 2], 1)\n"
+        "np.random.shuffle([1, 2])\n"
+        "z = np.random.permutation(3)\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["unseeded-shuffle"] * 5
+
+
+def test_unseeded_shuffle_allows_seeded_instances(tmp_path):
+    source = (
+        "import random\nimport numpy as np\n"
+        "rng = random.Random(7)\n"
+        "rng.shuffle([1, 2])\n"
+        "x = rng.choice([1, 2])\n"
+        "g = np.random.default_rng(7)\n"
+        "g.shuffle([1, 2])\n"
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+# -- mutable-default-arg ------------------------------------------------------
+def test_mutable_default_arg_flags_literals_and_comprehensions(tmp_path):
+    source = (
+        "def f(a, xs=[], m={}, s={1}):\n    pass\n"
+        "def g(*, ys=[v for v in (1,)]):\n    pass\n"
+        "h = lambda zs={}: zs\n"
+    )
+    assert rules_of(lint_source(tmp_path, source)) == ["mutable-default-arg"] * 5
+
+
+def test_mutable_default_arg_allows_none_and_immutables(tmp_path):
+    source = (
+        "def f(a, xs=None, t=(1, 2), fs=frozenset({1}), n=0, s='x'):\n"
+        "    xs = [] if xs is None else xs\n"
+    )
+    assert lint_source(tmp_path, source) == []
+
+
+def test_mutable_default_arg_suppressible(tmp_path):
+    source = "def f(xs=[]):  # lint: allow-mutable-default-arg\n    pass\n"
     assert lint_source(tmp_path, source) == []
 
 
@@ -164,6 +214,136 @@ def test_allow_comment_suppresses_only_named_rule(tmp_path):
     errors = lint_source(tmp_path, source)
     assert rules_of(errors) == ["wall-clock"]
     assert "fixture.py:3" in errors[0]
+
+
+def test_allow_comment_on_wrong_line_does_not_suppress(tmp_path):
+    # Suppression is strictly per-line: a comment on the line above (or
+    # below) the violation must not silence it.
+    source = (
+        "import time\n"
+        "# lint: allow-wall-clock\n"
+        "t = time.time()\n"
+        "u = time.time()\n"
+        "# lint: allow-wall-clock\n"
+    )
+    errors = lint_source(tmp_path, source)
+    assert rules_of(errors) == ["wall-clock"] * 2
+    assert "fixture.py:3" in errors[0] and "fixture.py:4" in errors[1]
+
+
+def test_multiple_rules_fire_and_suppress_on_one_line(tmp_path):
+    # One line can violate two rules; one allow comment can name both.
+    source = "import time\nvals = [time.time() for v in {1, 2}]\n"
+    assert sorted(rules_of(lint_source(tmp_path, source))) == [
+        "unsorted-set-iter", "wall-clock",
+    ]
+    suppressed = (
+        "import time\n"
+        "vals = [time.time() for v in {1, 2}]"
+        "  # lint: allow-wall-clock allow-unsorted-set-iter\n"
+    )
+    assert lint_source(tmp_path, suppressed) == []
+
+
+def test_strict_clock_set_matches_nested_replay_paths(tmp_path):
+    # The strict-clock rules key on the "repro/replay" path fragment, so
+    # the real layout (src/repro/replay/...) must be covered too.
+    replay_dir = tmp_path / "src" / "repro" / "replay"
+    replay_dir.mkdir(parents=True)
+    path = replay_dir / "fixture.py"
+    path.write_text(
+        "import time\n"
+        "a = time.process_time()\n"
+        "b = time.thread_time_ns()\n"
+    )
+    assert rules_of(lint_repro.lint_file(path, tmp_path)) == ["wall-clock"] * 2
+
+
+# -- protocol wiring ----------------------------------------------------------
+def wiring_tree(tmp_path, *, messages=None, kernel=None, statreg=None, extra=None):
+    """Build a minimal src/repro tree and run the wiring pass over it."""
+    dse = tmp_path / "src" / "repro" / "dse"
+    sim = tmp_path / "src" / "repro" / "sim"
+    dse.mkdir(parents=True)
+    sim.mkdir(parents=True)
+    (dse / "messages.py").write_text(messages if messages is not None else (
+        "class MsgType(Enum):\n"
+        "    GM_READ_REQ = 'gm_read_req'\n"
+        "    GM_READ_RSP = 'gm_read_rsp'\n"
+        "    PROC_DONE = 'proc_done'\n"
+        "_REQUESTS = {t for t in MsgType if t.value.endswith('_req')} | "
+        "{MsgType.PROC_DONE}\n"
+        "_DATA_CLASS = frozenset({MsgType.GM_READ_REQ, MsgType.GM_READ_RSP})\n"
+    ))
+    (dse / "kernel.py").write_text(kernel if kernel is not None else (
+        "def dispatch(t):\n"
+        "    if t is MsgType.GM_READ_REQ: pass\n"
+        "    if t is MsgType.PROC_DONE: pass\n"
+    ))
+    (sim / "statreg.py").write_text(statreg if statreg is not None else (
+        "COUNTERS = frozenset({'delivered'})\nTALLIES = frozenset({'rtt'})\n"
+    ))
+    for name, source in (extra or {}).items():
+        (tmp_path / "src" / "repro" / name).write_text(source)
+    return lint_repro.lint_wiring(tmp_path)
+
+
+def test_wiring_clean_fixture_passes(tmp_path):
+    assert wiring_tree(tmp_path) == []
+
+
+def test_wiring_flags_unknown_msgtype_reference(tmp_path):
+    errors = wiring_tree(
+        tmp_path, extra={"gmem.py": "x = MsgType.GM_RAED_RSP\n"}
+    )
+    assert rules_of(errors) == ["unknown-msg-type"]
+    assert "GM_RAED_RSP" in errors[0]
+
+
+def test_wiring_flags_unhandled_request_and_oneway(tmp_path):
+    errors = wiring_tree(tmp_path, kernel="def dispatch(t):\n    pass\n")
+    assert rules_of(errors) == ["unhandled-request"] * 2
+    assert "GM_READ_REQ" in errors[0] and "PROC_DONE" in errors[1]
+
+
+def test_wiring_accepts_register_service_as_handler(tmp_path):
+    errors = wiring_tree(
+        tmp_path,
+        kernel="def dispatch(t):\n    if t is MsgType.GM_READ_REQ: pass\n",
+        extra={
+            "svc.py": "kernel.register_service(MsgType.PROC_DONE, handler)\n"
+        },
+    )
+    assert errors == []
+
+
+def test_wiring_flags_split_channel_pair(tmp_path):
+    errors = wiring_tree(tmp_path, messages=(
+        "class MsgType(Enum):\n"
+        "    GM_READ_REQ = 'gm_read_req'\n"
+        "    GM_READ_RSP = 'gm_read_rsp'\n"
+        "_REQUESTS = {t for t in MsgType if t.value.endswith('_req')}\n"
+        "_DATA_CLASS = frozenset({MsgType.GM_READ_REQ})\n"
+    ), kernel="def dispatch(t):\n    if t is MsgType.GM_READ_REQ: pass\n")
+    assert rules_of(errors) == ["channel-pairing"]
+    assert "GM_READ_RSP" in errors[0]
+
+
+def test_wiring_flags_undeclared_stat_key_and_suppression(tmp_path):
+    errors = wiring_tree(tmp_path, extra={
+        "gmem.py": (
+            "def f(stats):\n"
+            "    stats.counter('deliverd').increment()\n"
+            "    stats.tally('rtt').record(1)\n"
+            "    stats.counter('adhoc').increment()  # lint: allow-unknown-stat-key\n"
+        ),
+    })
+    assert rules_of(errors) == ["unknown-stat-key"]
+    assert "'deliverd'" in errors[0]
+
+
+def test_repo_wiring_is_clean():
+    assert lint_repro.lint_wiring(REPO_ROOT) == []
 
 
 # -- whole-tree gate ----------------------------------------------------------

@@ -180,58 +180,32 @@ def show_trajectory(trajectory: list, require_speedup: float | None) -> int:
     return 1 if failures else 0
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("engine", "transport"),
-                        default="engine",
-                        help="which benchmark suite to run (default: engine)")
-    parser.add_argument("--baseline", type=Path, default=None,
-                        help="trajectory file (default: BENCH_<suite>.json)")
-    parser.add_argument("--record", action="store_true",
-                        help="append a fresh measurement instead of comparing")
-    parser.add_argument("--label", default="unlabelled",
-                        help="label for the recorded entry")
-    parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed wall-clock regression fraction (default 0.15)")
-    parser.add_argument("--repeats", type=int, default=5,
-                        help="best-of repetitions per micro-bench (default 5)")
-    parser.add_argument("--smoke", action="store_true",
-                        help="fast mode for CI: best-of-2 repetitions")
-    parser.add_argument("--trajectory", action="store_true",
-                        help="print the committed trajectory and speed-ups")
-    parser.add_argument("--require-speedup", type=float, default=None,
-                        help="with --trajectory: gate micro-bench first->last speed-up")
-    parser.add_argument("--require-ratio", type=float, default=10.0,
-                        help="transport suite: minimum SR-vs-stop-and-wait "
-                             "goodput ratio at the canonical loss point")
-    args = parser.parse_args(argv)
-    if args.baseline is None:
-        args.baseline = (
-            TRANSPORT_BASELINE if args.suite == "transport" else DEFAULT_BASELINE
-        )
+def _transport_suite(args) -> int:
+    """The transport x burst-loss matrix suite (exact, simulated)."""
+    print("measuring transport x burst-loss matrix (simulated, exact):")
+    fresh = measure_transport()
+    trajectory = load_trajectory(args.baseline)
+    if args.record:
+        trajectory.append({
+            "label": args.label,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            **fresh,
+        })
+        save_trajectory(args.baseline, trajectory,
+                        benches=sorted(fresh["results"]))
+        print(f"\nrecorded entry {args.label!r} ({len(trajectory)} total) "
+              f"to {args.baseline}")
+        return 0
+    if not trajectory:
+        print(f"no baseline at {args.baseline}; run with --record first",
+              file=sys.stderr)
+        return 2
+    return compare_transport(fresh, trajectory[-1], args.require_ratio)
 
-    if args.suite == "transport":
-        print("measuring transport x burst-loss matrix (simulated, exact):")
-        fresh = measure_transport()
-        trajectory = load_trajectory(args.baseline)
-        if args.record:
-            trajectory.append({
-                "label": args.label,
-                "python": platform.python_version(),
-                "machine": platform.machine(),
-                **fresh,
-            })
-            save_trajectory(args.baseline, trajectory,
-                            benches=sorted(fresh["results"]))
-            print(f"\nrecorded entry {args.label!r} ({len(trajectory)} total) "
-                  f"to {args.baseline}")
-            return 0
-        if not trajectory:
-            print(f"no baseline at {args.baseline}; run with --record first",
-                  file=sys.stderr)
-            return 2
-        return compare_transport(fresh, trajectory[-1], args.require_ratio)
 
+def _engine_suite(args) -> int:
+    """The wall-clock engine scenario suite (record/compare/trajectory)."""
     trajectory = load_trajectory(args.baseline)
     if args.trajectory:
         return show_trajectory(trajectory, args.require_speedup)
@@ -257,6 +231,54 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     return compare(fresh, trajectory[-1], args.tolerance)
+
+
+#: suite name -> (committed baseline file, runner); adding a suite is one
+#: entry here — selection, default baseline, and dispatch all read it
+SUITES = {
+    "engine": (DEFAULT_BASELINE, _engine_suite),
+    "transport": (TRANSPORT_BASELINE, _transport_suite),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", default="engine", metavar="SUITE",
+                        help="which benchmark suite to run "
+                             f"(one of: {', '.join(SUITES)}; default: engine)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="trajectory file (default: BENCH_<suite>.json)")
+    parser.add_argument("--record", action="store_true",
+                        help="append a fresh measurement instead of comparing")
+    parser.add_argument("--label", default="unlabelled",
+                        help="label for the recorded entry")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed wall-clock regression fraction (default 0.15)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="best-of repetitions per micro-bench (default 5)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast mode for CI: best-of-2 repetitions")
+    parser.add_argument("--trajectory", action="store_true",
+                        help="print the committed trajectory and speed-ups")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="with --trajectory: gate micro-bench first->last speed-up")
+    parser.add_argument("--require-ratio", type=float, default=10.0,
+                        help="transport suite: minimum SR-vs-stop-and-wait "
+                             "goodput ratio at the canonical loss point")
+    args = parser.parse_args(argv)
+
+    suite = SUITES.get(args.suite)
+    if suite is None:
+        print(
+            f"unknown suite {args.suite!r}; known suites: "
+            f"{', '.join(sorted(SUITES))}",
+            file=sys.stderr,
+        )
+        return 2
+    default_baseline, run = suite
+    if args.baseline is None:
+        args.baseline = default_baseline
+    return run(args)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,34 @@ Rules (all reported as ``path:line: [rule] message``):
   Wrap the iterable in ``sorted(...)``.
 * **bare-except** — ``except:`` swallows simulator invariant violations
   (including ``GeneratorExit`` in coroutines); name the exception.
+* **unseeded-shuffle** — ``random.shuffle`` / ``random.choice`` /
+  ``random.choices`` / ``random.sample`` (and the numpy equivalents) on
+  the module-level RNG: reordering decisions are exactly the kind of
+  nondeterminism that changes event schedules, so they get their own
+  rule (and suppression name) rather than hiding inside global-random.
+* **mutable-default-arg** — a ``[]`` / ``{}`` / ``{...}`` default is
+  built once at import and shared by every call — state leaks across
+  *runs* inside one host process, breaking run-to-run purity even with
+  identical configs.  Default to ``None`` and construct inside.
+
+Cross-file **protocol wiring** checks (run against the repo as a whole;
+reported with the same ``path:line: [rule] message`` shape):
+
+* **unknown-msg-type** — every ``MsgType.X`` reference under
+  ``src/repro`` must name a real enum member (a typo'd type silently
+  never matches any dispatch arm).
+* **unhandled-request** — every request-classified ``MsgType`` member
+  (``*_req`` plus the declared one-way notifications) must be dispatched
+  by ``dse/kernel.py`` or installed via ``register_service`` somewhere;
+  an unhandled request is a guaranteed runtime ``DSEError``.
+* **channel-pairing** — a request and its response must ride the same
+  dual-channel lane: ``_DATA_CLASS`` must contain ``*_req``/``*_rsp``
+  pairs together, or a retry repairs one direction while the other
+  silently reorders.
+* **unknown-stat-key** — every ``stats.counter("...")`` /
+  ``stats.tally("...")`` literal must appear in the declared registry
+  (:mod:`repro.sim.statreg`); a typo'd key creates a fresh zero counter
+  and every reader of the intended key sees stale data.
 
 Suppress a deliberate use with a ``# lint: allow-<rule>`` comment on the
 offending line (e.g. ``# lint: allow-wall-clock``).
@@ -59,6 +87,21 @@ _STRICT_CLOCK_PATHS = ("repro/replay",)
 
 #: numpy.random attributes that are fine (seeded-generator constructors)
 _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+#: module-level RNG calls that make *ordering* decisions — split out of
+#: global-random so they carry a sharper message and suppression name
+_SHUFFLE_NAMES = {"shuffle", "choice", "choices", "sample"}
+_NP_SHUFFLE_NAMES = {"shuffle", "choice", "permutation", "permuted"}
+
+#: AST nodes that build a fresh mutable object (bad as a default)
+_MUTABLE_DEFAULT_NODES = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
 
 #: set-producing method names (on any object — conservative is fine here,
 #: these names are set-algebra specific)
@@ -134,7 +177,13 @@ class _Linter(ast.NodeVisitor):
             return
         parts = chain.split(".")
         if parts[0] == "random" and len(parts) == 2:
-            if parts[1] not in ("Random", "SystemRandom"):
+            if parts[1] in _SHUFFLE_NAMES:
+                self._report(
+                    node, "unseeded-shuffle",
+                    f"{chain}() reorders/selects via the shared module-level "
+                    "RNG; call it on a seeded random.Random instance",
+                )
+            elif parts[1] not in ("Random", "SystemRandom"):
                 self._report(
                     node, "global-random",
                     f"{chain}() uses the module-level RNG; draw from a "
@@ -143,7 +192,13 @@ class _Linter(ast.NodeVisitor):
         elif len(parts) >= 3 and parts[-2] == "random" and parts[0] in (
             "np", "numpy"
         ):
-            if parts[-1] not in _NP_RANDOM_OK:
+            if parts[-1] in _NP_SHUFFLE_NAMES:
+                self._report(
+                    node, "unseeded-shuffle",
+                    f"{chain}() reorders/selects via numpy's global RNG; "
+                    "use a numpy.random.default_rng(seed) instance",
+                )
+            elif parts[-1] not in _NP_RANDOM_OK:
                 self._report(
                     node, "global-random",
                     f"{chain}() uses numpy's global RNG; use "
@@ -210,18 +265,35 @@ class _Linter(ast.NodeVisitor):
                     self._set_names[-1].discard(target.id)
         self.generic_visit(node)
 
+    # -- rule: mutable-default-arg -------------------------------------------
+    def _check_defaults(self, node: ast.AST) -> None:
+        args = node.args
+        defaults = list(args.defaults)
+        defaults.extend(d for d in args.kw_defaults if d is not None)
+        for default in defaults:
+            if isinstance(default, _MUTABLE_DEFAULT_NODES):
+                self._report(
+                    default, "mutable-default-arg",
+                    "mutable default is built once at import and shared by "
+                    "every call (state leaks across runs in one host "
+                    "process); default to None and construct inside",
+                )
+
     def _visit_scope(self, node: ast.AST) -> None:
         self._set_names.append(set())
         self.generic_visit(node)
         self._set_names.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
         self._visit_scope(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
         self._visit_scope(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
         self._visit_scope(node)
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -277,6 +349,193 @@ def lint_paths(paths: list, root: Path) -> "tuple[int, list[str]]":
     return checked, errors
 
 
+class _WiringScan(ast.NodeVisitor):
+    """One file's raw material for the cross-file wiring checks."""
+
+    def __init__(self) -> None:
+        self.msgtype_refs: list = []  # (member name, lineno)
+        self.registered: set = set()  # member names passed to register_service
+        self.stat_keys: list = []  # (kind, key literal, lineno)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "MsgType":
+            self.msgtype_refs.append((node.attr, node.lineno))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "register_service"
+            and node.args
+        ):
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Attribute)
+                and isinstance(first.value, ast.Name)
+                and first.value.id == "MsgType"
+            ):
+                self.registered.add(first.attr)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("counter", "tally")
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            self.stat_keys.append((func.attr, node.args[0].value, node.lineno))
+        self.generic_visit(node)
+
+
+def _msgtype_refs_in(node: ast.AST) -> list:
+    """Member names of every ``MsgType.X`` reference under ``node``."""
+    return [
+        n.attr
+        for n in ast.walk(node)
+        if isinstance(n, ast.Attribute)
+        and isinstance(n.value, ast.Name)
+        and n.value.id == "MsgType"
+    ]
+
+
+def _parse_messages(tree: ast.AST) -> "tuple[dict, set, int, set]":
+    """Extract (members, _DATA_CLASS names, its lineno, one-way names)."""
+    members: dict = {}  # member name -> lineno
+    data_class: set = set()
+    data_class_line = 0
+    oneway: set = set()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == "MsgType":
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                ):
+                    members[stmt.targets[0].id] = stmt.lineno
+        elif (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            name = node.targets[0].id
+            if name == "_DATA_CLASS":
+                data_class = set(_msgtype_refs_in(node.value))
+                data_class_line = node.lineno
+            elif name == "_REQUESTS":
+                # the explicit one-way notifications unioned into _REQUESTS
+                oneway = set(_msgtype_refs_in(node.value))
+    return members, data_class, data_class_line, oneway
+
+
+def _parse_statreg(tree: ast.AST) -> "tuple[set, set]":
+    """Extract the declared COUNTERS/TALLIES key sets from statreg.py."""
+    registries = {"COUNTERS": set(), "TALLIES": set()}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id in registries
+        ):
+            registries[node.targets[0].id] = {
+                n.value
+                for n in ast.walk(node.value)
+                if isinstance(n, ast.Constant) and isinstance(n.value, str)
+            }
+    return registries["COUNTERS"], registries["TALLIES"]
+
+
+def lint_wiring(root: Path) -> list:
+    """Cross-file protocol wiring checks over ``root/src/repro``.
+
+    Returns error lines in the same ``path:line: [rule] message`` shape;
+    ``# lint: allow-<rule>`` comments on the reported line suppress them.
+    """
+    src = root / "src" / "repro"
+    messages_py = src / "dse" / "messages.py"
+    if not messages_py.exists():
+        return []
+    errors: list = []
+
+    messages_source = messages_py.read_text()
+    members, data_class, data_class_line, oneway = _parse_messages(
+        ast.parse(messages_source)
+    )
+    messages_allowed = _allowed_lines(messages_source)
+
+    scans: dict = {}  # path -> (_WiringScan, allowed-lines map)
+    for py in sorted(src.rglob("*.py")):
+        source = py.read_text()
+        scan = _WiringScan()
+        scan.visit(ast.parse(source, filename=str(py)))
+        scans[py] = (scan, _allowed_lines(source))
+
+    def report(path: Path, lineno: int, allowed: dict, rule: str, msg: str):
+        if rule not in allowed.get(lineno, ()):
+            errors.append(f"{path.relative_to(root)}:{lineno}: [{rule}] {msg}")
+
+    # unknown-msg-type: every MsgType.X anywhere must name a real member
+    for py, (scan, allowed) in scans.items():
+        for name, lineno in scan.msgtype_refs:
+            if name not in members:
+                report(
+                    py, lineno, allowed, "unknown-msg-type",
+                    f"MsgType.{name} is not a member of MsgType "
+                    "(dse/messages.py); a typo'd type never dispatches",
+                )
+
+    # unhandled-request: every request member must reach a handler
+    kernel_py = src / "dse" / "kernel.py"
+    handled: set = set()
+    if kernel_py in scans:
+        handled.update(name for name, _ in scans[kernel_py][0].msgtype_refs)
+    for scan, _ in scans.values():
+        handled.update(scan.registered)
+    requests = {m for m in members if m.endswith("_REQ")}
+    requests.update(name for name in oneway if name in members)
+    for name in sorted(requests - handled):
+        report(
+            messages_py, members[name], messages_allowed, "unhandled-request",
+            f"MsgType.{name} is request-classified but neither dispatched "
+            "in dse/kernel.py nor installed via register_service — "
+            "sending it raises DSEError at runtime",
+        )
+
+    # channel-pairing: _DATA_CLASS carries _REQ/_RSP pairs together
+    for name in sorted(data_class):
+        partner = None
+        if name.endswith("_REQ"):
+            partner = name[: -len("_REQ")] + "_RSP"
+        elif name.endswith("_RSP"):
+            partner = name[: -len("_RSP")] + "_REQ"
+        if partner in members and partner not in data_class:
+            report(
+                messages_py, data_class_line, messages_allowed,
+                "channel-pairing",
+                f"_DATA_CLASS routes MsgType.{name} over the unreliable "
+                f"lane but not its pair MsgType.{partner}; a request and "
+                "its response must ride the same channel",
+            )
+
+    # unknown-stat-key: counter/tally literals vs the declared registry
+    statreg_py = src / "sim" / "statreg.py"
+    if statreg_py.exists():
+        counters, tallies = _parse_statreg(ast.parse(statreg_py.read_text()))
+        for py, (scan, allowed) in scans.items():
+            for kind, key, lineno in scan.stat_keys:
+                registry = counters if kind == "counter" else tallies
+                if key not in registry:
+                    report(
+                        py, lineno, allowed, "unknown-stat-key",
+                        f".{kind}({key!r}) is not declared in "
+                        "repro/sim/statreg.py; a typo'd key silently "
+                        "creates a fresh zero counter",
+                    )
+    return errors
+
+
 def main(argv: list) -> int:
     root = Path(__file__).resolve().parents[1]
     targets = (
@@ -285,6 +544,7 @@ def main(argv: list) -> int:
         else [root / "src" / "repro"]
     )
     checked, errors = lint_paths(targets, root)
+    errors.extend(lint_wiring(root))
     for err in errors:
         print(err)
     print(f"determinism lint: {checked} files checked, {len(errors)} violation(s)")
