@@ -31,7 +31,7 @@ from ..sim.core import Event
 from .api import ParallelAPI
 from .procman import RemoteProcHandle, TaskLost
 
-__all__ = ["farm", "farm_dynamic", "FarmResult", "FARM_RANK_BASE"]
+__all__ = ["farm", "farm_dynamic", "farm_stream", "FarmStream", "FarmResult", "FARM_RANK_BASE"]
 
 #: farmed tasks get private rank ids above any SPMD rank
 FARM_RANK_BASE = 2_000_000
@@ -105,6 +105,73 @@ def farm(
         value = yield from api.kernel.procman.wait(handle)
         results.append(value)
     return results
+
+
+class FarmStream:
+    """Open-loop task dispatch: send now, collect later.
+
+    ``farm``/``farm_dynamic`` are *closed-loop* — the caller decides the
+    whole item list up front and blocks until it drains.  A traffic
+    generator cannot do that: requests arrive on their own clock and
+    must be dispatched the moment they arrive, regardless of how many
+    are still in flight.  A ``FarmStream`` holds the open handles:
+
+    * ``yield from stream.dispatch(item, target)`` invokes the task and
+      returns immediately after the send (blocking only for the invoke
+      RPC, never for the task itself);
+    * ``yield from stream.drain()`` waits for everything still open and
+      returns results in dispatch order.
+
+    Used by :mod:`repro.traffic.cluster_backend` to pace Poisson request
+    arrivals onto real DSE kernels.
+    """
+
+    def __init__(
+        self,
+        api: ParallelAPI,
+        task: Callable[..., Generator],
+        targets: Optional[Sequence[int]] = None,
+    ):
+        self.api = api
+        self.task = task
+        self.targets = targets
+        self._handles: List[RemoteProcHandle] = []
+        self.dispatched = 0
+
+    def dispatch(self, item: Any, target: Optional[int] = None) -> Generator:
+        """Invoke ``task(api', item)`` on ``target`` (or round-robin)."""
+        if target is None:
+            target = _target_of(self.api, self.dispatched, self.targets)
+        if not (0 <= target < self.api.size):
+            raise DSEError(f"farm target kernel {target} out of range")
+        handle = yield from self.api.kernel.procman.invoke(
+            target, self.task, _fresh_rank(), (item,)
+        )
+        self._handles.append(handle)
+        self.dispatched += 1
+        return handle
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._handles)
+
+    def drain(self) -> Generator[Event, Any, List[Any]]:
+        """Wait for every open handle; results come back in dispatch order."""
+        results: List[Any] = []
+        for handle in self._handles:
+            value = yield from self.api.kernel.procman.wait(handle)
+            results.append(value)
+        self._handles = []
+        return results
+
+
+def farm_stream(
+    api: ParallelAPI,
+    task: Callable[..., Generator],
+    targets: Optional[Sequence[int]] = None,
+) -> FarmStream:
+    """Create an open-loop :class:`FarmStream` (see its docs)."""
+    return FarmStream(api, task, targets)
 
 
 def farm_dynamic(

@@ -38,6 +38,14 @@ over the seed's stop-and-wait protocol (see :mod:`repro.perf.netbench`
 and ``docs/networking.md``)::
 
     dse-experiments loss-sweep
+
+The ``traffic`` subcommand drives the multi-tenant request layer: a
+policies x loads sweep of the PS cloning engine (cached, ``--jobs N``
+byte-identical), or the full-stack cluster variant with ``--cluster``
+(see :mod:`repro.traffic` and ``docs/traffic.md``)::
+
+    dse-experiments traffic --jobs 4
+    dse-experiments traffic --cluster --transport dual --loss 0.02
     dse-experiments loss-sweep --loss 0,0.02,0.05 --transports reliable,sr
     dse-experiments loss-sweep --fabric ethernet --messages 400
 
@@ -117,7 +125,9 @@ def _trace_main(argv: List[str]) -> int:
         description="Run one workload with causal tracing and export the spans.",
     )
     parser.add_argument(
-        "--workload", choices=sorted(_TRACE_WORKLOADS), default="gauss-seidel"
+        "--workload",
+        choices=sorted(_TRACE_WORKLOADS) + ["traffic"],
+        default="gauss-seidel",
     )
     parser.add_argument("--processors", type=int, default=4)
     parser.add_argument("--platform", choices=platform_names(), default="sunos")
@@ -134,6 +144,36 @@ def _trace_main(argv: List[str]) -> int:
         "--span-limit", type=int, default=None, help="cap on retained spans"
     )
     args = parser.parse_args(argv)
+
+    if args.workload == "traffic":
+        # The traffic layer owns its simulator (no cluster); it mints
+        # sampled request-level spans, which span_census aggregates into
+        # the per-tenant latency block.
+        from ..traffic.cli import run_traced_traffic
+        from .timeline import span_census
+
+        engine = run_traced_traffic(
+            metrics_interval=args.metrics_interval if args.metrics else 0.0,
+        )
+        result = engine.result
+        print(f"traffic clone-2 sweep point: elapsed {result.elapsed:.6f}s "
+              f"simulated, {result.overall['count']:.0f} requests")
+        print(span_census(engine.recorder, sim=engine.sim))
+        if not engine.recorder.spans:
+            print(f"no spans were recorded, so {args.out} was not written")
+            return 1
+        n_events = write_chrome_trace(engine.recorder, args.out, engine.cluster)
+        print(f"wrote {n_events} trace events to {args.out}")
+        if args.metrics:
+            if engine.sampler is None or not engine.sampler.samples_taken:
+                print(f"no metric samples were taken, so {args.metrics} "
+                      "was not written")
+                return 1
+            writer = (write_metrics_jsonl if args.metrics.endswith(".jsonl")
+                      else write_metrics_csv)
+            n_rows = writer(engine.sampler, args.metrics)
+            print(f"wrote {n_rows} metric samples to {args.metrics}")
+        return 0
 
     module_name, attr, worker_args = _TRACE_WORKLOADS[args.workload]
     worker = getattr(importlib.import_module(module_name), attr)
@@ -307,6 +347,10 @@ def main(argv: List[str] | None = None) -> int:
         return _profile_engine_main(argv[1:])
     if argv and argv[0] == "loss-sweep":
         return _loss_sweep_main(argv[1:])
+    if argv and argv[0] == "traffic":
+        from ..traffic.cli import traffic_main
+
+        return traffic_main(argv[1:])
     if argv and argv[0] == "scale":
         from .scaling import scale_main
 

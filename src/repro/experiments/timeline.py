@@ -80,6 +80,40 @@ def event_log(tracer: Tracer, limit: int = 50) -> str:
     return "\n".join(lines)
 
 
+def _request_span_block(recorder) -> str:
+    """Latency aggregation of request-level spans (``cat == "request"``).
+
+    The traffic layer mints sampled per-request spans; unlike compute
+    spans, their interesting statistic is the latency *distribution*,
+    not the total — so they get their own table with deterministic
+    p50/p99/p999 from the same geometric histogram the SLO tracker uses
+    (empty when the trace holds no request spans, e.g. compute-only
+    workloads)."""
+    from ..traffic.slo import LatencyHistogram
+
+    hists: Dict[str, LatencyHistogram] = {}
+    for span in recorder.spans:
+        if span.cat != "request" or span.end is None:
+            continue
+        hist = hists.get(span.name)
+        if hist is None:
+            hist = hists[span.name] = LatencyHistogram()
+        hist.observe(span.duration)
+    if not hists:
+        return ""
+    table = Table(
+        ["request span", "count", "mean (s)", "p50", "p99", "p999"],
+        title="request spans",
+    )
+    for name in sorted(hists):
+        s = hists[name].summary()
+        table.add(
+            name, s["count"], f"{s['mean']:.6g}",
+            f"{s['p50']:.6g}", f"{s['p99']:.6g}", f"{s['p999']:.6g}",
+        )
+    return table.render()
+
+
 def span_census(recorder, sim=None, ckpt=None) -> str:
     """Per-name span counts and total durations from a
     :class:`repro.obs.SpanRecorder` (the cross-layer causal trace).
@@ -101,6 +135,9 @@ def span_census(recorder, sim=None, ckpt=None) -> str:
     for name in sorted(counts, key=lambda n: -totals[n]):
         table.add(name, counts[name], f"{totals[name]:.6g}")
     out = table.render()
+    request_block = _request_span_block(recorder)
+    if request_block:
+        out += "\n" + request_block
     if sim is not None:
         out += (
             f"\nengine: {sim.events_processed} events processed, "

@@ -88,6 +88,20 @@ def _metadata_events(cluster: Any) -> List[Dict[str, Any]]:
                 "args": {"name": f"kernel k{kernel.kernel_id}"},
             }
         )
+    # traffic-layer VirtualCluster: one lane per PS server (pid = server id)
+    for server in getattr(cluster, "servers", []):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": server.server_id,
+                "tid": 0,
+                "args": {
+                    "name": f"{getattr(cluster, 'service_name', 'svc')} "
+                            f"server {server.server_id}"
+                },
+            }
+        )
     return events
 
 

@@ -5,8 +5,10 @@
 * :mod:`~repro.ssi.kvstore` — cluster-wide key-value service
 * :mod:`~repro.ssi.fs` — single file-system namespace
 * :mod:`~repro.ssi.placement` — transparent process placement policies
+* :mod:`~repro.ssi.endpoints` — named-service endpoint registry
 """
 
+from .endpoints import ServiceDirectory
 from .fs import SSIFileSystem
 from .kvstore import KVClient, KVService
 from .namespace import GlobalNamespace, GlobalPid
@@ -21,6 +23,7 @@ from .shell import ShellError, SSIShell
 from .view import SSIView, node_info
 
 __all__ = [
+    "ServiceDirectory",
     "SSIFileSystem",
     "KVClient",
     "KVService",

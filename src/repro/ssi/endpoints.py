@@ -1,0 +1,76 @@
+"""Service endpoints: the SSI-side registry of who serves what.
+
+The single-system-image promise is that a *service* is addressed by
+name, not by node: callers resolve ``"svc"`` and get the current set of
+live endpoint ids, while nodes come and go underneath (elastic scale-up
+/ scale-down, crashes, restarts).  :class:`ServiceDirectory` is that
+registry — a deliberately small, deterministic, pure-python structure
+shared by the traffic layer's :class:`~repro.traffic.service.VirtualCluster`
+and anything else that wants a placement-aware view of a named service.
+
+Every mutation is journalled with its simulated timestamp, so tests and
+the observability layer can reconstruct the membership timeline of a
+run exactly (the same idea as the kvstore's version history, at the
+service-membership level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["ServiceDirectory"]
+
+
+class ServiceDirectory:
+    """Name -> live endpoint ids, with a journalled membership history."""
+
+    def __init__(self):
+        self._services: Dict[str, List[int]] = {}
+        #: journal of (time, service, endpoint, "up"/"down"), append-only
+        self.journal: List[Tuple[float, str, int, str]] = []
+
+    def register(self, service: str, endpoint: int, now: float = 0.0) -> None:
+        """Add ``endpoint`` to ``service`` (idempotent)."""
+        if not service:
+            raise ConfigurationError("service name cannot be empty")
+        members = self._services.setdefault(service, [])
+        if endpoint in members:
+            return
+        members.append(endpoint)
+        members.sort()
+        self.journal.append((now, service, endpoint, "up"))
+
+    def deregister(self, service: str, endpoint: int, now: float = 0.0) -> None:
+        """Remove ``endpoint`` from ``service`` (idempotent)."""
+        members = self._services.get(service)
+        if members is None or endpoint not in members:
+            return
+        members.remove(endpoint)
+        self.journal.append((now, service, endpoint, "down"))
+
+    def resolve(self, service: str) -> List[int]:
+        """The live endpoint ids for ``service``, ascending (a copy)."""
+        return list(self._services.get(service, ()))
+
+    def services(self) -> List[str]:
+        """All known service names, sorted."""
+        return sorted(self._services)
+
+    def membership_at(self, service: str, t: float) -> List[int]:
+        """Reconstruct the endpoint set of ``service`` as of time ``t``."""
+        members: List[int] = []
+        for when, name, endpoint, kind in self.journal:
+            if when > t:
+                break
+            if name != service:
+                continue
+            if kind == "up":
+                if endpoint not in members:
+                    members.append(endpoint)
+            else:
+                if endpoint in members:
+                    members.remove(endpoint)
+        members.sort()
+        return members

@@ -1,0 +1,66 @@
+"""repro.traffic — multi-tenant cloud-service traffic on the SSI cluster.
+
+The north-star workload: millions of simulated users offering open-loop
+request traffic to the cluster-as-one-machine, with admission control,
+elastic capacity, request cloning, and SLO metrics.  Validated against
+the PS request-cloning reproducibility report (Pellegrini 2020, arXiv
+2002.04416); see docs/traffic.md.
+
+* :mod:`~repro.traffic.arrivals` — Poisson/MMPP arrivals, Exp/Pareto/Det
+  service distributions, all seed-deterministic
+* :mod:`~repro.traffic.tenants` — tenant specs and token-bucket quotas
+* :mod:`~repro.traffic.service` — virtual-time PS servers, elastic cluster
+* :mod:`~repro.traffic.policies` — random / rr / jsq / lwl / clone-to-d
+* :mod:`~repro.traffic.engine` — the open-loop run driver
+* :mod:`~repro.traffic.slo` — deterministic latency histograms, SLO tracking
+* :mod:`~repro.traffic.analytic` — M/G/1-PS closed forms for the gate
+* :mod:`~repro.traffic.bench` — the committed BENCH_traffic.json matrix
+* :mod:`~repro.traffic.cluster_backend` — small-scale full-stack mode on
+  the real DSE cluster (transports, burst loss, crash campaigns)
+"""
+
+from .arrivals import (
+    Deterministic,
+    Exponential,
+    MMPPArrivals,
+    Pareto,
+    PoissonArrivals,
+    make_arrivals,
+    make_service,
+)
+from .engine import (
+    ElasticConfig,
+    TrafficConfig,
+    TrafficEngine,
+    TrafficResult,
+    run_traffic,
+)
+from .policies import POLICY_NAMES, make_policy
+from .service import Clone, PSServer, VirtualCluster
+from .slo import LatencyHistogram, SLOTracker
+from .tenants import QuotaConfig, TenantSpec, TokenBucket
+
+__all__ = [
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "Exponential",
+    "Pareto",
+    "Deterministic",
+    "make_arrivals",
+    "make_service",
+    "QuotaConfig",
+    "TenantSpec",
+    "TokenBucket",
+    "Clone",
+    "PSServer",
+    "VirtualCluster",
+    "POLICY_NAMES",
+    "make_policy",
+    "LatencyHistogram",
+    "SLOTracker",
+    "ElasticConfig",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficResult",
+    "run_traffic",
+]

@@ -1,0 +1,146 @@
+"""Closed-form M/G/1-PS predictions for the validation gate.
+
+The PS request-cloning reproducibility report (Pellegrini 2020, arXiv
+2002.04416) rests on two classical facts this module encodes:
+
+1. **PS insensitivity** — an M/G/1-PS queue's mean response time depends
+   on the service distribution only through its mean:
+
+   .. math:: E[T] = \\frac{E[S]}{1 - \\rho}, \\qquad \\rho = \\lambda E[S]
+
+2. **Cluster-split cloning is exactly solvable** — partition ``N`` PS
+   servers into groups of ``d`` and send synchronized clones of each
+   request to every member of one uniformly chosen group.  Because the
+   clones stay synchronized on egalitarian PS servers (same admit time,
+   same per-job share, first finisher cancels the rest), each group
+   behaves as a *single* M/G/1-PS queue whose service time is the
+   minimum of ``d`` i.i.d. draws, fed by a ``d/N`` thinning-free share
+   of the arrivals:
+
+   .. math:: E[T_d] = \\frac{E[X_{(1:d)}]}{1 - \\lambda\\,d\\,E[X_{(1:d)}]/N}
+
+   Whether cloning pays is then a pure tail question: for Pareto
+   ``E[X_(1:d)]`` shrinks fast (min of Pareto(α) is Pareto(dα)), for
+   exponential it shrinks like ``1/d`` (break-even at every load), and
+   for deterministic service it does not shrink at all — cloning merely
+   multiplies load by ``d`` and *hurts*.
+
+The simulation must land on these curves; ``tools/check_bench.py
+--suite traffic`` gates exactly that, and :func:`expected_ordering`
+states which policy should win where.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "ps_mean_response",
+    "random_dispatch_mean_response",
+    "clone_mean_response",
+    "clone_vs_random",
+    "expected_ordering",
+    "sweep_loads",
+]
+
+
+def ps_mean_response(mean_service: float, rho: float) -> float:
+    """M/G/1-PS mean response time at load ``rho`` (insensitive to shape)."""
+    if not 0.0 <= rho < 1.0:
+        raise ConfigurationError(f"need 0 <= rho < 1, got {rho}")
+    return mean_service / (1.0 - rho)
+
+
+def random_dispatch_mean_response(
+    service, lam: float, n_servers: int, rate: float = 1.0
+) -> float:
+    """Mean response under uniform random dispatch to ``n_servers`` PS queues.
+
+    Splitting a Poisson stream uniformly gives each server an independent
+    M/G/1-PS at the same per-server load, so the system mean equals the
+    single-queue PS formula at ``rho = lam * E[S] / (n * rate)``.
+    """
+    rho = lam * service.mean / (n_servers * rate)
+    return ps_mean_response(service.mean / rate, rho)
+
+
+def clone_mean_response(
+    service, lam: float, n_servers: int, d: int, rate: float = 1.0
+) -> float:
+    """Mean response for cluster-split clone-to-d with cancel-on-first.
+
+    ``service`` must expose ``mean`` and ``min_of_mean(d)`` (all the
+    distributions in :mod:`repro.traffic.arrivals` do).
+    """
+    if d < 1:
+        raise ConfigurationError(f"clone degree must be >= 1, got {d}")
+    if n_servers % d:
+        raise ConfigurationError(
+            f"cluster-split needs n_servers divisible by d ({n_servers} % {d})"
+        )
+    min_mean = service.min_of_mean(d) / rate
+    rho = lam * d * min_mean / n_servers
+    return ps_mean_response(min_mean, rho)
+
+
+def clone_vs_random(
+    service, lam: float, n_servers: int, d: int, rate: float = 1.0
+) -> Tuple[float, float]:
+    """(clone-to-d, random) analytic mean response times, same offered load."""
+    return (
+        clone_mean_response(service, lam, n_servers, d, rate),
+        random_dispatch_mean_response(service, lam, n_servers, rate),
+    )
+
+
+def expected_ordering(service, lam: float, n_servers: int, d: int,
+                      rate: float = 1.0) -> str:
+    """Which policy the model says wins: ``"clone"``, ``"random"``, ``"tie"``.
+
+    This is the qualitative claim the bench gate checks against the
+    simulation: any service with ``d * E[min of d] <= E[S]`` (Pareto
+    alpha <= 1.5, exponential) → clone wins at every load; deterministic
+    service → clone loses once the extra load bites; in between (e.g.
+    Pareto alpha 2.2) the winner flips with the load.
+    """
+    if n_servers % d:
+        raise ConfigurationError(
+            f"cluster-split needs n_servers divisible by d ({n_servers} % {d})"
+        )
+    # Saturation-aware: a side whose load reaches 1 diverges and loses
+    # outright (deterministic service saturates the clone side at half
+    # the arrival rate — the formula would raise, but the verdict is
+    # well-defined).
+    rho_clone = lam * d * (service.min_of_mean(d) / rate) / n_servers
+    rho_rand = lam * service.mean / (n_servers * rate)
+    if rho_clone >= 1.0 or rho_rand >= 1.0:
+        if rho_clone >= 1.0 and rho_rand >= 1.0:
+            return "tie"
+        return "random" if rho_clone >= 1.0 else "clone"
+    clone, rand = clone_vs_random(service, lam, n_servers, d, rate)
+    if abs(clone - rand) <= 1e-9 * max(clone, rand):
+        return "tie"
+    return "clone" if clone < rand else "random"
+
+
+def sweep_loads(service, n_servers: int, d: int, rhos: List[float],
+                rate: float = 1.0) -> List[dict]:
+    """Analytic clone-vs-random curve over per-server loads ``rhos``.
+
+    Returns one row per load with the arrival rate that produces it,
+    ready to plot against (or gate) the simulated sweep.
+    """
+    rows = []
+    for rho in rhos:
+        lam = rho * n_servers * rate / service.mean
+        clone, rand = clone_vs_random(service, lam, n_servers, d, rate)
+        rows.append({
+            "rho": rho,
+            "lam": lam,
+            "clone": clone,
+            "random": rand,
+            "winner": expected_ordering(service, lam, n_servers, d, rate),
+        })
+    return rows

@@ -1,0 +1,84 @@
+"""Tenants and admission control.
+
+A :class:`TenantSpec` describes one customer of the shared service: its
+arrival process, its service-time distribution, how many requests it
+offers, and (optionally) a :class:`QuotaConfig` token-bucket quota.
+Admission control happens *before* dispatch: a request that finds its
+tenant's bucket empty is rejected immediately (the multi-tenant
+fairness mechanism — one tenant's flash crowd cannot starve another's
+quota), counted per tenant in the SLO tracker.
+
+The token bucket refills lazily from the simulated clock, so it adds no
+events and no RNG draws — admission is a pure function of the arrival
+times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["QuotaConfig", "TokenBucket", "TenantSpec"]
+
+
+@dataclass(frozen=True)
+class QuotaConfig:
+    """Token-bucket quota: sustained ``rate`` req/s, ``burst`` tokens deep."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"quota rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ConfigurationError(f"quota burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """Lazily refilled token bucket (no events, no randomness)."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, config: QuotaConfig, now: float):
+        self.rate = config.rate
+        self.burst = config.burst
+        self.tokens = config.burst  # starts full
+        self._last = now
+
+    def try_take(self, now: float) -> bool:
+        """Admit one request if a token is available at ``now``."""
+        tokens = self.tokens + (now - self._last) * self.rate
+        if tokens > self.burst:
+            tokens = self.burst
+        self._last = now
+        if tokens >= 1.0:
+            self.tokens = tokens - 1.0
+            return True
+        self.tokens = tokens
+        return False
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the multi-tenant request service."""
+
+    name: str
+    #: arrival process (PoissonArrivals / MMPPArrivals)
+    arrivals: Any
+    #: service-time distribution (Exponential / Pareto / Deterministic)
+    service: Any
+    #: open-loop request budget for the run
+    n_requests: int
+    #: optional admission quota; None = never reject
+    quota: Optional[QuotaConfig] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("tenant name cannot be empty")
+        if self.n_requests < 1:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs n_requests >= 1, got {self.n_requests}"
+            )

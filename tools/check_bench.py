@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark gates: record and compare the committed perf trajectories.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 * ``engine`` (default) — wall-clock measurements of the canonical engine
   scenarios (:mod:`repro.perf.benches`), committed in ``BENCH_engine.json``.
@@ -11,6 +11,12 @@ Two suites, selected with ``--suite``:
   compares the whole matrix exactly, and ``--require-ratio`` (default 10)
   gates the selective-repeat speed-up over stop-and-wait at the canonical
   burst-loss point.
+* ``traffic`` — the dispatch-policy x load response-time matrix
+  (:mod:`repro.traffic.bench`), committed in ``BENCH_traffic.json``.
+  Also all-simulated/exact; additionally gates the PS request-cloning
+  report's orderings (clone-2 beats random on the heavy tail, loses on
+  deterministic service) and the simulated-vs-analytic error within
+  ``--tolerance`` of the closed forms.
 
 The engine suite has three modes:
 
@@ -52,6 +58,7 @@ from repro.perf.netbench import matrix_ratios, run_matrix  # noqa: E402
 
 DEFAULT_BASELINE = REPO / "BENCH_engine.json"
 TRANSPORT_BASELINE = REPO / "BENCH_transport.json"
+TRAFFIC_BASELINE = REPO / "BENCH_traffic.json"
 
 #: the canonical gate points for --suite transport (loss point 0.02)
 _GATE_KEYS = ("sr@0.02", "dual@0.02")
@@ -233,11 +240,78 @@ def _engine_suite(args) -> int:
     return compare(fresh, trajectory[-1], args.tolerance)
 
 
+def _traffic_suite(args) -> int:
+    """The policy x load traffic matrix: exact + report-ordering gates."""
+    from repro.traffic.bench import check_gates, run_bench_matrix
+
+    n_requests = 6_000 if args.smoke else 60_000
+    print(f"measuring traffic policy x load matrix "
+          f"({n_requests} requests/point, simulated, exact):")
+    fresh = run_bench_matrix(n_requests=n_requests)
+    for key, outcome in sorted(fresh.items()):
+        analytic = outcome.get("analytic")
+        extra = f"  (analytic {analytic:.4f})" if analytic is not None else ""
+        print(f"  {key:>16}: mean {outcome['mean']:10.4f}  "
+              f"p99 {outcome['p99']:10.4f}{extra}")
+
+    failures = 0
+    print("\nreport-reproduction gates:")
+    for description, ok in check_gates(fresh, tolerance=args.tolerance):
+        print(f"  [{'PASS' if ok else 'FAIL'}] {description}")
+        failures += 0 if ok else 1
+
+    trajectory = load_trajectory(args.baseline)
+    if args.record:
+        if failures:
+            print(f"\nrefusing to record a baseline that fails "
+                  f"{failures} gate(s)", file=sys.stderr)
+            return 1
+        trajectory.append({
+            "label": args.label,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "n_requests": n_requests,
+            "results": fresh,
+        })
+        save_trajectory(args.baseline, trajectory, benches=sorted(fresh))
+        print(f"\nrecorded entry {args.label!r} ({len(trajectory)} total) "
+              f"to {args.baseline}")
+        return 0
+    if not trajectory:
+        print(f"no baseline at {args.baseline}; run with --record first",
+              file=sys.stderr)
+        return 2
+    base_entry = trajectory[-1]
+    base = base_entry["results"]
+    print(f"\ncomparing against baseline entry {base_entry['label']!r}:")
+    if base_entry.get("n_requests") != n_requests:
+        print(f"  (baseline used {base_entry.get('n_requests')} requests/point, "
+              f"this run {n_requests}: skipping the exact comparison)")
+    else:
+        for key, cur in sorted(fresh.items()):
+            ref = base.get(key)
+            if ref is None:
+                print(f"  {key:>16}: NEW (no baseline)")
+                continue
+            if cur != ref:
+                diffs = {
+                    fld: (cur.get(fld), ref.get(fld))
+                    for fld in sorted(set(cur) | set(ref))
+                    if cur.get(fld) != ref.get(fld)
+                }
+                print(f"  {key:>16}: DETERMINISM MISMATCH {diffs}")
+                failures += 1
+            else:
+                print(f"  {key:>16}: ok (exact)")
+    return 1 if failures else 0
+
+
 #: suite name -> (committed baseline file, runner); adding a suite is one
 #: entry here — selection, default baseline, and dispatch all read it
 SUITES = {
     "engine": (DEFAULT_BASELINE, _engine_suite),
     "transport": (TRANSPORT_BASELINE, _transport_suite),
+    "traffic": (TRAFFIC_BASELINE, _traffic_suite),
 }
 
 
