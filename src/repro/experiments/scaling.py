@@ -133,11 +133,16 @@ def measure_scale_point(
     machines: Optional[int] = None,
     platform: str = "linux",
     size: Optional[int] = None,
+    shards: int = 0,
+    shard_workers: str = "inline",
 ) -> ScalePoint:
     """Run one workload at ``nodes`` processors and collect the metrics.
 
     ``machines`` defaults to ``nodes`` — a real large cluster, one kernel
     per machine; pass fewer to study virtual-cluster doubling at scale.
+    ``shards``/``shard_workers`` select sharded parallel-in-time execution
+    (simulated results are byte-identical for every shard count; only
+    ``wall_seconds`` changes — see docs/sharding.md).
     """
     worker = _resolve_worker(workload)
     args_of = SCALE_WORKLOADS[workload][2]
@@ -148,6 +153,8 @@ def measure_scale_point(
         n_machines=nodes if machines is None else machines,
         fabric=FabricConfig(kind=fabric),
         gmem_batching=batching,
+        shards=shards,
+        shard_workers=shard_workers,
     )
     start = time.perf_counter()
     result = run_parallel(config, worker, args=args)
@@ -160,7 +167,7 @@ def measure_scale_point(
         batching=batching,
         elapsed=elapsed,
         msgs=int(result.stats["msgs_sent"]),
-        events=result.cluster.sim.events_processed,
+        events=result.sim_events,
         wall_seconds=wall,
         stats=result.stats,
     )
@@ -182,23 +189,37 @@ def scale_sweep(
     size: Optional[int] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    shards: int = 0,
+    shard_workers: str = "inline",
 ) -> List[ScalePoint]:
     """Measure a node grid and fill in speed-ups against one processor.
 
     ``jobs > 1`` fans the baseline and every grid point across a process
     pool; ``cache`` reuses prior identical runs.  Speed-ups are computed
     from the merged results, so output is independent of scheduling.
+    ``shards`` runs every grid point under sharded execution (the
+    one-processor baseline clamps to a single shard).
     """
+    shard_common = {"shards": shards, "shard_workers": shard_workers}
     tasks = [
         {"workload": workload, "nodes": 1, "fabric": fabric, "batching": batching,
-         "machines": 1, "platform": platform, "size": size}
+         "machines": 1, "platform": platform, "size": size,
+         "shards": min(shards, 1), "shard_workers": shard_workers}
     ]
     for n in nodes:
         tasks.append(
             {"workload": workload, "nodes": n, "fabric": fabric, "batching": batching,
-             "machines": machines, "platform": platform, "size": size}
+             "machines": machines, "platform": platform, "size": size,
+             **shard_common}
         )
-    raw = run_tasks(_scale_task, tasks, jobs=jobs, cache=cache, namespace="scale")
+    raw = run_tasks(
+        _scale_task,
+        tasks,
+        jobs=jobs,
+        cache=cache,
+        namespace="scale",
+        shards=shard_common if shards else None,
+    )
     baseline, *rest = [ScalePoint.from_dict(r) for r in raw]
     for point in rest:
         point.speedup = baseline.elapsed / point.elapsed if point.elapsed else None
@@ -324,6 +345,17 @@ def scale_main(argv: List[str]) -> int:
         help="worker processes for independent sweep points (default: 1)",
     )
     parser.add_argument(
+        "--shards", type=int, default=0,
+        help="shard each point's event loop N ways (0 = classic single "
+             "loop; results are byte-identical for every N, see "
+             "docs/sharding.md)",
+    )
+    parser.add_argument(
+        "--shard-workers", choices=("inline", "process"), default="process",
+        help="sharded backend: one OS process per shard (process, default) "
+             "or everything in-process (inline, the determinism reference)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="recompute every point, bypassing the on-disk result cache",
     )
@@ -344,6 +376,8 @@ def scale_main(argv: List[str]) -> int:
         size=args.size,
         jobs=args.jobs,
         cache=cache,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
     )
     print(scale_table(points, title=f"{args.workload} scaling ({args.platform})").render())
     if cache is not None:

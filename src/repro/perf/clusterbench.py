@@ -1,0 +1,103 @@
+"""Cluster-scale benchmark scenarios: sharded vs single-loop execution.
+
+Each scenario runs the *same* simulation twice — once on one event loop
+(``shards=1``, inline) and once sharded (``repro.shard``, one OS worker
+process per shard where the entry point allows it) — and reports:
+
+* the deterministic outcome (simulated elapsed, events processed, wire
+  messages), which MUST be byte-identical between the two runs
+  (``identical``); a mismatch is an engine bug, not a perf regression;
+* both wall-clocks and their ratio (``speedup``), plus ``cpus`` so a
+  reader can tell a genuine regression from a box with nothing to
+  parallelise on — on one core the process backend is pure IPC overhead
+  and ``speedup < 1`` is the *expected honest* outcome.
+
+``tools/check_bench.py --suite engine --cluster-scale`` runs these,
+compares the deterministic fields exactly against ``BENCH_engine.json``,
+and gates ``speedup >= 2`` at the largest scale scenario whenever the
+host actually has at least as many cores as shards (loud SKIP
+otherwise — the gate is about the engine, not about the CI box).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict
+
+__all__ = ["CLUSTER_SCENARIOS", "CLUSTER_BENCHES", "run_cluster_bench"]
+
+#: scenario name -> spec; ``cluster_scale_*`` are SPMD scale points (the
+#: process backend applies), ``cluster_traffic`` is the full-stack request
+#: stream (closure master -> inline backend, determinism check only)
+CLUSTER_SCENARIOS: Dict[str, Dict[str, Any]] = {
+    "cluster_scale_64": {"kind": "scale", "nodes": 64, "shards": 4},
+    "cluster_scale_256": {"kind": "scale", "nodes": 256, "shards": 4},
+    "cluster_traffic": {"kind": "traffic", "requests": 600, "kernels": 8, "shards": 4},
+}
+
+#: names in report order (smoke mode runs all but the 256-node point)
+CLUSTER_BENCHES = tuple(CLUSTER_SCENARIOS)
+
+
+def _scale_outcome(nodes: int, shards: int, workers: str) -> Dict[str, Any]:
+    from ..experiments.scaling import measure_scale_point
+
+    point = measure_scale_point(
+        "gauss-seidel", nodes, shards=shards, shard_workers=workers
+    )
+    return {
+        "elapsed": point.elapsed,
+        "events": point.events,
+        "msgs": point.msgs,
+        "stats": json.dumps(point.stats, sort_keys=True),
+        "wall": point.wall_seconds,
+    }
+
+
+def _traffic_outcome(kernels: int, requests: int, shards: int) -> Dict[str, Any]:
+    from ..traffic.cluster_backend import run_cluster_traffic
+
+    start = time.perf_counter()
+    summary = run_cluster_traffic(
+        n_kernels=kernels, n_requests=requests, shards=shards
+    )
+    wall = time.perf_counter() - start
+    return {
+        "elapsed": summary["elapsed"],
+        "events": summary["sim_events"],
+        "msgs": summary["count"],
+        "stats": json.dumps(summary, sort_keys=True),
+        "wall": wall,
+    }
+
+
+def run_cluster_bench(name: str) -> Dict[str, Any]:
+    """One sharded-vs-single measurement; see the module docstring."""
+    spec = CLUSTER_SCENARIOS[name]
+    shards = spec["shards"]
+    if spec["kind"] == "scale":
+        single = _scale_outcome(spec["nodes"], 1, "inline")
+        sharded = _scale_outcome(spec["nodes"], shards, "process")
+        scale = spec["nodes"]
+    else:
+        single = _traffic_outcome(spec["kernels"], spec["requests"], 1)
+        sharded = _traffic_outcome(spec["kernels"], spec["requests"], shards)
+        scale = spec["kernels"]
+    identical = all(single[k] == sharded[k] for k in ("elapsed", "events", "msgs", "stats"))
+    return {
+        # deterministic fields (compared exactly against the baseline)
+        "sim_now": single["elapsed"],
+        "events": single["events"],
+        "msgs": single["msgs"],
+        "identical": identical,
+        # wall-side fields (machine-dependent)
+        "wall": sharded["wall"],
+        "wall_single": single["wall"],
+        "speedup": single["wall"] / sharded["wall"] if sharded["wall"] else 0.0,
+        "cpus": os.cpu_count() or 1,
+        "nodes": scale,
+        "shards": shards,
+        "kind": spec["kind"],
+    }

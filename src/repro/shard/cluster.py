@@ -1,0 +1,179 @@
+"""A DSE cluster distributed across shard event loops.
+
+:class:`ShardedCluster` is a :class:`repro.dse.cluster.Cluster` whose
+machines live on ``config.shards`` concurrently advancing simulators
+instead of one.  Everything above the event loop — machines, transports,
+kernels, routes, global memory — is wired by the base class verbatim; the
+overrides below only decide *which* simulator each machine gets and swap
+the monolithic fabric for per-shard switch cards joined by handoff queues
+(:mod:`repro.shard.fabric`).
+
+The partition comes from :func:`repro.shard.plan.plan_shards`, weighted by
+kernels-per-machine (the virtual-cluster doubling), unless the config
+carries an explicit ``shard_map`` — the hook for profile-guided maps built
+with :func:`repro.shard.plan.weights_from_stats` from a pilot run's
+per-machine event counts.
+
+``stats_snapshot`` keeps the exact key set of the single-loop cluster:
+counters disabled under sharding (collisions on a switched fabric,
+sanitizer/resilience/replay sections, which config validation forbids)
+report the same values a single-loop switched run would.  The per-shard
+slices (:meth:`partial_stats`) exist for the process backend, whose
+workers each hold one shard's live counters; :func:`merge_partial_stats`
+recombines them into the identical snapshot — integer-valued counters sum
+exactly in floats, and the two rate/max keys merge by ``max``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from ..dse.cluster import Cluster
+from ..sim.core import Simulator
+from .engine import ShardEngine
+from .fabric import build_shard_network
+from .plan import ShardPlan, plan_shards
+
+__all__ = ["ShardedCluster", "merge_partial_stats", "plan_for_config"]
+
+#: snapshot keys that merge by max, not sum, across shard partials
+_MAX_KEYS = frozenset({"max_load_average", "net.collision_rate"})
+
+
+def plan_for_config(config) -> ShardPlan:
+    """The shard plan a :class:`ShardedCluster` built from ``config`` uses.
+
+    Deterministic in the config alone, so the process backend's parent and
+    every worker independently compute the identical plan."""
+    n_machines = config.machines_used
+    weights = [float(len(config.kernels_on(m))) for m in range(n_machines)]
+    return plan_shards(
+        n_machines,
+        config.shards,
+        weights=weights,
+        machine_shard=config.shard_map,
+    )
+
+
+class ShardedCluster(Cluster):
+    """One simulated DSE cluster, partitioned over shard event loops."""
+
+    is_sharded = True
+
+    # -- construction hooks --------------------------------------------------
+    def _init_sims(self, start_time: float) -> None:
+        self.plan: ShardPlan = plan_for_config(self.config)
+        self.sims: List[Simulator] = [
+            Simulator(start_time=start_time) for _ in range(self.plan.n_shards)
+        ]
+        self.sim = self.sims[0]
+
+    def _machine_sim(self, machine_id: int) -> Simulator:
+        return self.sims[self.plan.machine_shard[machine_id]]
+
+    def _build_network(self, n_machines: int):
+        return build_shard_network(
+            self.sims, self.plan, n_machines, self.config.fabric
+        )
+
+    def _post_build(self) -> None:
+        self.engine = ShardEngine(self)
+
+    # -- execution -----------------------------------------------------------
+    def run_all(self) -> None:
+        self.engine.run_all()
+
+    def total_events(self) -> int:
+        return self.engine.total_events()
+
+    def total_cancelled(self) -> int:
+        return self.engine.total_cancelled()
+
+    # -- statistics ----------------------------------------------------------
+    def _fabric_snapshot(self, out: Dict[str, float]) -> None:
+        cards = self.network.cards
+        for key in ("frames_sent", "collisions", "bytes_sent"):
+            out[f"net.{key}"] = sum(
+                card.stats.counter(key).value for card in cards
+            )
+        out["net.collision_rate"] = 0.0  # switched fabric: never collides
+
+    # -- per-shard slices (process backend) -----------------------------------
+    def machines_of_shard(self, shard: int) -> List[int]:
+        return self.plan.machines_of(shard)
+
+    def kernels_of_shard(self, shard: int) -> List[int]:
+        machine_shard = self.plan.machine_shard
+        config = self.config
+        return [
+            k
+            for k in range(config.n_processors)
+            if machine_shard[config.machine_of(k)] == shard
+        ]
+
+    def partial_stats(self, shard: int) -> Dict[str, float]:
+        """This shard's additive slice of :meth:`stats_snapshot`.
+
+        Summing the slices over all shards (``merge_partial_stats``)
+        reproduces the full snapshot exactly: every summed counter is
+        integer-valued, so float addition is associative here.
+        """
+        out: Dict[str, float] = {}
+        card = self.network.cards[shard]
+        for key in ("frames_sent", "collisions", "bytes_sent"):
+            out[f"net.{key}"] = card.stats.counter(key).value
+        out["net.collision_rate"] = 0.0
+        machines = [self.machines[m] for m in self.machines_of_shard(shard)]
+        kernels = [self.kernels[k] for k in self.kernels_of_shard(shard)]
+        out["msgs_sent"] = sum(
+            m.stats.counter("msgs_sent").value for m in machines
+        )
+        transport_stats = [
+            m.transport.stats
+            for m in machines
+            if getattr(m.transport, "stats", None) is not None
+        ]
+        for key in (
+            "retransmissions",
+            "timeouts",
+            "fast_retransmits",
+            "partial_ack_retransmits",
+            "cwnd_floor_hits",
+            "duplicates_dropped",
+            "out_of_order_buffered",
+            "unreliable_sent",
+        ):
+            out[f"net.{key}"] = float(
+                sum(st.counter(key).value for st in transport_stats)
+            )
+        for key in (
+            "remote_reads",
+            "remote_writes",
+            "local_reads",
+            "local_writes",
+            "combined_reads",
+            "batch_flushes",
+            "batched_runs",
+        ):
+            out[f"gm.{key}"] = sum(
+                k.gmem.stats.counter(key).value for k in kernels
+            )
+        out["max_load_average"] = max(
+            (m.load_average() for m in machines), default=0.0
+        )
+        return out
+
+
+def merge_partial_stats(partials: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Recombine per-shard :meth:`ShardedCluster.partial_stats` slices."""
+    out: Dict[str, float] = {}
+    for partial in partials:
+        for key, value in partial.items():
+            if key in _MAX_KEYS:
+                out[key] = max(out.get(key, 0.0), value)
+            else:
+                # ``0 + value`` keeps each key's type (int counters stay
+                # int, float-wrapped transport sums stay float) so merged
+                # snapshots serialise identically to inline ones.
+                out[key] = out.get(key, 0) + value
+    return out

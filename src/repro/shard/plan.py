@@ -1,0 +1,146 @@
+"""Shard planning: which machines (and their kernels) run on which shard.
+
+A :class:`ShardPlan` maps every physical machine of a cluster to one shard.
+For the switched fabric every station pair has the same cross-link latency,
+so cut *bandwidth*, not cut latency, is what the partitioner can influence —
+and with the DSE layers' neighbour-heavy traffic (Gauss-Seidel edge
+exchanges, per-home memory traffic hashed over contiguous block ranges)
+contiguous machine blocks are the minimum-cut family.  Planning therefore
+reduces to the classic linear-partition problem: split the machine line into
+``n_shards`` contiguous runs with balanced weight.
+
+Weights default to kernels-per-machine (the virtual-cluster doubling is the
+one static load signal), and :func:`weights_from_stats` converts a profiled
+run's per-machine event counts into weights so a pilot run can rebalance a
+bigger sweep (the ``repro.perf`` trajectory files record exactly these
+counters).
+
+The plan is part of a run's *identity*: :func:`ShardPlan.signature` is a
+stable digest folded into sweep cache keys so results produced under
+different shard maps can never collide in the result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["ShardPlan", "plan_shards", "weights_from_stats"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An immutable machine -> shard assignment."""
+
+    n_shards: int
+    #: ``machine_shard[m]`` is the shard of machine ``m``
+    machine_shard: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ConfigurationError("a plan needs at least one shard")
+        if len(self.machine_shard) < 1:
+            raise ConfigurationError("a plan needs at least one machine")
+        seen = set()
+        for m, s in enumerate(self.machine_shard):
+            if not (0 <= s < self.n_shards):
+                raise ConfigurationError(
+                    f"machine {m} assigned to shard {s}, valid range is "
+                    f"0..{self.n_shards - 1}"
+                )
+            seen.add(s)
+        if len(seen) != self.n_shards:
+            empty = sorted(set(range(self.n_shards)) - seen)
+            raise ConfigurationError(f"shards {empty} have no machines")
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machine_shard)
+
+    def shard_of_machine(self, machine_id: int) -> int:
+        return self.machine_shard[machine_id]
+
+    def machines_of(self, shard: int) -> List[int]:
+        return [m for m, s in enumerate(self.machine_shard) if s == shard]
+
+    def signature(self) -> str:
+        """Stable short digest identifying this plan (cache-key component)."""
+        payload = f"{self.n_shards}:{','.join(map(str, self.machine_shard))}"
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def weights_from_stats(
+    per_machine_events: Dict[int, float], n_machines: int
+) -> List[float]:
+    """Per-machine weights from profiled event counts (missing machines
+    weigh 1.0, so a partial profile still produces a usable plan)."""
+    return [
+        max(float(per_machine_events.get(m, 1.0)), 1e-9) for m in range(n_machines)
+    ]
+
+
+def plan_shards(
+    n_machines: int,
+    n_shards: int,
+    weights: Optional[Sequence[float]] = None,
+    machine_shard: Optional[Sequence[int]] = None,
+) -> ShardPlan:
+    """Partition ``n_machines`` into ``n_shards`` contiguous balanced blocks.
+
+    ``weights`` biases the balance (event-rate profiles); ``machine_shard``
+    short-circuits planning with an explicit assignment (validated).  The
+    greedy sweep cuts the machine line whenever the running weight reaches
+    the ideal per-shard share while leaving one machine per remaining shard,
+    which is deterministic and within one machine of balanced for the
+    near-uniform weights clusters actually have.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {n_shards}")
+    if n_shards > n_machines:
+        raise ConfigurationError(
+            f"cannot split {n_machines} machine(s) into {n_shards} shards"
+        )
+    if machine_shard is not None:
+        if len(machine_shard) != n_machines:
+            raise ConfigurationError(
+                f"shard map has {len(machine_shard)} entries for "
+                f"{n_machines} machines"
+            )
+        return ShardPlan(n_shards=n_shards, machine_shard=tuple(machine_shard))
+    if weights is None:
+        weights = [1.0] * n_machines
+    if len(weights) != n_machines:
+        raise ConfigurationError(
+            f"{len(weights)} weights for {n_machines} machines"
+        )
+    if any(w <= 0 for w in weights):
+        raise ConfigurationError("shard weights must be positive")
+
+    assignment: List[int] = []
+    shard = 0
+    in_shard = 0  # machines assigned to the current shard so far
+    acc = 0.0  # weight accumulated in the current shard
+    remaining_weight = float(sum(weights))
+    share = remaining_weight / n_shards  # ideal weight of the current shard
+    for m, w in enumerate(weights):
+        shards_after = n_shards - shard - 1
+        machines_left = n_machines - m  # including this one
+        # Cut before machine m when the current shard reached its share, or
+        # when every remaining machine is needed to keep later shards
+        # non-empty.  The share is recomputed from the *remaining* weight at
+        # each cut so one heavy machine cannot starve the tail shards.
+        must_cut = in_shard > 0 and machines_left == shards_after
+        want_cut = in_shard > 0 and shards_after > 0 and acc + w / 2.0 >= share
+        if must_cut or want_cut:
+            remaining_weight -= acc
+            shard += 1
+            share = remaining_weight / (n_shards - shard)
+            acc = 0.0
+            in_shard = 0
+        assignment.append(shard)
+        acc += float(w)
+        in_shard += 1
+    return ShardPlan(n_shards=n_shards, machine_shard=tuple(assignment))

@@ -1,0 +1,211 @@
+"""The multiprocess shard backend: one OS worker process per shard.
+
+Each worker deterministically rebuilds the *whole* cluster from the config
+(cheap relative to running it, and it makes every worker's world view
+identical by construction), then drives only its own shard's simulator.
+The parent never simulates anything: it mirrors the inline engine's window
+schedule over pipes —
+
+    round:   workers report (outbox records, next-event time, clock)
+    parent:  routes records by destination shard, computes the window
+             start ``W`` = min(worker peeks ∪ pending record effect
+             times) — exactly the inline engine's post-admit minimum,
+             because admission only inserts events at record effect times
+    parent:  broadcasts ("window", W + lookahead, records-for-you)
+    worker:  admits records in canonical order, runs its loop to the
+             horizon, replies
+
+— so a worker executes the byte-identical per-window event schedule the
+inline backend would, and ``shard_workers`` flips parallelism on and off
+without touching a single simulated value.  Final statistics are merged
+from per-shard additive slices (:func:`repro.shard.cluster.merge_partial_stats`);
+the run outcome (per-rank returns, elapsed) comes from the worker owning
+kernel 0, where the master driver ran.
+
+Only SPMD entry points are supported: the worker callable and its args
+ship to worker processes, and master closures over live parent state do
+not survive that trip (``run_master`` raises before getting here).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import replace
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..dse.config import ClusterConfig
+from ..errors import DSEError
+from .cluster import merge_partial_stats, plan_for_config
+from .fabric import min_frame_time
+
+__all__ = ["run_parallel_process"]
+
+_INF = float("inf")
+
+
+def _shard_worker(
+    conn,
+    shard: int,
+    config: ClusterConfig,
+    worker: Callable[..., Generator],
+    args: tuple,
+    args_of: Optional[Callable[[int], tuple]],
+) -> None:
+    """Worker-process main: rebuild, then follow the parent's windows."""
+    try:
+        from ..dse.runtime import launch_parallel
+
+        launched = launch_parallel(config, worker, args, args_of)
+        cluster = launched.cluster
+        sim = cluster.sims[shard]
+        card = cluster.network.cards[shard]
+        conn.send(("ready", sim.peek(), sim.now))
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            if op == "window":
+                _op, horizon, records = msg
+                if records:
+                    card.inbox.extend(records)
+                    card.admit_pending()
+                sim.run_window(horizon)
+                out = card.outbox
+                card.outbox = []
+                conn.send(("done", out, sim.peek(), sim.now))
+            elif op == "finalize":
+                _op, end_time = msg
+                if sim.now < end_time:
+                    sim.advance_to(end_time)
+                outcome = None
+                if shard == cluster.plan.machine_shard[config.machine_of(0)]:
+                    outcome = launched._outcome
+                    if "returns" not in outcome:
+                        raise DSEError(
+                            "master did not complete (deadlock or early drain)"
+                        )
+                conn.send(
+                    (
+                        "final",
+                        cluster.partial_stats(shard),
+                        sim.events_processed,
+                        outcome,
+                    )
+                )
+                return
+            else:
+                raise DSEError(f"unknown shard-protocol op {op!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_parallel_process(
+    config: ClusterConfig,
+    worker: Callable[..., Generator],
+    args: tuple = (),
+    args_of: Optional[Callable[[int], tuple]] = None,
+):
+    """SPMD run with one OS process per shard; same results as inline."""
+    from ..dse.runtime import RunResult
+
+    plan = plan_for_config(config)
+    n = plan.n_shards
+    lookahead = min_frame_time(config.fabric.rate_bps)
+    station_shard = plan.machine_shard
+    # Workers must not recurse into this backend when they rebuild.
+    worker_config = replace(config, shard_workers="inline")
+
+    ctx = multiprocessing.get_context()
+    conns = []
+    procs = []
+    try:
+        for s in range(n):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, s, worker_config, worker, args, args_of),
+                name=f"repro-shard-{s}",
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        def recv(s: int):
+            msg = conns[s].recv()
+            if msg[0] == "error":
+                raise DSEError(f"shard worker {s} failed:\n{msg[1]}")
+            return msg
+
+        peeks: List[float] = [0.0] * n
+        nows: List[float] = [0.0] * n
+        for s in range(n):
+            tag, peek, now = recv(s)
+            assert tag == "ready"
+            peeks[s] = peek
+            nows[s] = now
+
+        pending: List[List[Any]] = [[] for _ in range(n)]
+        while True:
+            window_start = min(peeks)
+            for records in pending:
+                for record in records:
+                    if record[0] < window_start:
+                        window_start = record[0]
+            if window_start == _INF:
+                break
+            horizon = window_start + lookahead
+            for s in range(n):
+                conns[s].send(("window", horizon, pending[s]))
+                pending[s] = []
+            for s in range(n):
+                _tag, out, peek, now = recv(s)
+                peeks[s] = peek
+                nows[s] = now
+                for record in out:
+                    pending[station_shard[record[4]]].append(record)
+
+        # Align every shard's clock to the globally last event time before
+        # statistics are read — the inline engine's _finalize step.  The
+        # time-weighted monitors (run-queue load averages) integrate up to
+        # "now", so without this a shard's stats would depend on the map.
+        end_time = max(nows)
+        partials: List[Dict[str, float]] = []
+        outcome: Optional[Dict[str, Any]] = None
+        sim_events = 0
+        for s in range(n):
+            conns[s].send(("finalize", end_time))
+        for s in range(n):
+            tag, partial, events, shard_outcome = recv(s)
+            assert tag == "final"
+            partials.append(partial)
+            sim_events += events
+            if shard_outcome is not None:
+                outcome = shard_outcome
+        if outcome is None or "returns" not in outcome:
+            raise DSEError("master did not complete (deadlock or early drain)")
+        returns = outcome["returns"][0]  # SPMD: rank -> value dict
+        return RunResult(
+            elapsed=outcome["elapsed"],
+            returns=returns,
+            stats=merge_partial_stats(partials),
+            sim_events=sim_events,
+            config=config,
+            cluster=None,
+        )
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

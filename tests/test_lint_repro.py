@@ -204,6 +204,44 @@ def test_bare_except_flagged_named_allowed(tmp_path):
     assert rules_of(lint_source(tmp_path, source)) == ["bare-except"]
 
 
+# -- process-isolation --------------------------------------------------------
+def test_process_isolation_flags_mp_imports_and_pid_reads(tmp_path):
+    source = (
+        "import multiprocessing\n"
+        "from multiprocessing import Process\n"
+        "from multiprocessing.connection import Connection\n"
+        "import os\n"
+        "pid = os.getpid()\n"
+        "child = os.fork()\n"
+    )
+    errors = lint_source(tmp_path, source)
+    assert rules_of(errors) == ["process-isolation"] * 5
+    assert "fixture.py:1" in errors[0]
+    assert "host process identity" in errors[-1]
+
+
+def test_process_isolation_exempts_the_sanctioned_layers(tmp_path):
+    source = "import multiprocessing\nimport os\npid = os.getpid()\n"
+    for rel in ("repro/shard/procpool.py", "repro/experiments/parallel.py"):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        assert lint_repro.lint_file(path, tmp_path) == []
+    # ...but a sibling experiments module gets no exemption.
+    other = tmp_path / "repro" / "experiments" / "scaling.py"
+    other.write_text(source)
+    assert rules_of(lint_repro.lint_file(other, tmp_path)) == (
+        ["process-isolation"] * 2
+    )
+
+
+def test_process_isolation_allows_benign_os_calls_and_suppression(tmp_path):
+    clean = "import os\nn = os.cpu_count()\npath = os.getcwd()\n"
+    assert lint_source(tmp_path, clean) == []
+    suppressed = "import os\npid = os.getpid()  # lint: allow-process-isolation\n"
+    assert lint_source(tmp_path, suppressed) == []
+
+
 # -- suppression --------------------------------------------------------------
 def test_allow_comment_suppresses_only_named_rule(tmp_path):
     source = (

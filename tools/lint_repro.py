@@ -36,6 +36,12 @@ Rules (all reported as ``path:line: [rule] message``):
   built once at import and shared by every call — state leaks across
   *runs* inside one host process, breaking run-to-run purity even with
   identical configs.  Default to ``None`` and construct inside.
+* **process-isolation** — ``multiprocessing`` imports and
+  ``os.getpid()`` / ``os.fork()`` are confined to the two sanctioned
+  host-parallelism layers (``repro/shard`` and
+  ``repro/experiments/parallel.py``).  Anywhere else, host process
+  identity or topology leaking into model code is a determinism hazard:
+  results would depend on how the run was executed, not on the config.
 
 Cross-file **protocol wiring** checks (run against the repo as a whole;
 reported with the same ``path:line: [rule] message`` shape):
@@ -85,6 +91,12 @@ _WALL_CLOCK_STRICT = {"perf_counter", "perf_counter_ns", "process_time",
 #: path fragments whose files get the strict clock rules
 _STRICT_CLOCK_PATHS = ("repro/replay",)
 
+#: the only places allowed to touch host process machinery: the sharded
+#: execution backend and the multicore sweep runner
+_MP_ALLOWED_PATHS = ("repro/shard/", "repro/experiments/parallel.py")
+#: os-module calls that expose host process identity/topology
+_PROCESS_OS_CALLS = {"getpid", "getppid", "fork", "forkpty"}
+
 #: numpy.random attributes that are fine (seeded-generator constructors)
 _NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
 
@@ -128,10 +140,17 @@ def _attr_chain(node: ast.AST) -> str:
 class _Linter(ast.NodeVisitor):
     """One file's worth of determinism checks."""
 
-    def __init__(self, relpath: str, allowed: dict, strict_clock: bool = False):
+    def __init__(
+        self,
+        relpath: str,
+        allowed: dict,
+        strict_clock: bool = False,
+        mp_allowed: bool = False,
+    ):
         self.relpath = relpath
         self.allowed = allowed  # lineno -> set of allowed rule names
         self.strict_clock = strict_clock
+        self.mp_allowed = mp_allowed
         self.errors: list[str] = []
         #: function-local names currently known to be bound to a set
         self._set_names: list[set] = [set()]
@@ -239,10 +258,46 @@ class _Linter(ast.NodeVisitor):
                 "in sorted(...)",
             )
 
+    # -- rule: process-isolation ----------------------------------------------
+    def _check_process_call(self, node: ast.Call) -> None:
+        if self.mp_allowed:
+            return
+        chain = _attr_chain(node.func)
+        if chain.startswith("os.") and chain[len("os."):] in _PROCESS_OS_CALLS:
+            self._report(
+                node, "process-isolation",
+                f"{chain}() exposes host process identity; only repro/shard "
+                "and repro/experiments/parallel.py may touch process "
+                "machinery — results must depend on the config, not on how "
+                "the run was executed",
+            )
+
+    def _check_process_import(self, node: ast.AST, module: str) -> None:
+        if self.mp_allowed:
+            return
+        if module == "multiprocessing" or module.startswith("multiprocessing."):
+            self._report(
+                node, "process-isolation",
+                "multiprocessing is confined to repro/shard and "
+                "repro/experiments/parallel.py (the sanctioned "
+                "host-parallelism layers); model code must stay "
+                "single-process deterministic",
+            )
+
     # -- visitors ------------------------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
         self._check_wall_clock(node)
         self._check_global_random(node)
+        self._check_process_call(node)
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_process_import(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self._check_process_import(node, node.module or "")
         self.generic_visit(node)
 
     def visit_For(self, node: ast.For) -> None:
@@ -332,7 +387,10 @@ def lint_file(path: Path, root: Path) -> list[str]:
         return [f"{relpath}: syntax error: {exc}"]
     posix = relpath.replace("\\", "/")
     strict = any(fragment in posix for fragment in _STRICT_CLOCK_PATHS)
-    linter = _Linter(relpath, _allowed_lines(source), strict_clock=strict)
+    mp_ok = any(fragment in posix for fragment in _MP_ALLOWED_PATHS)
+    linter = _Linter(
+        relpath, _allowed_lines(source), strict_clock=strict, mp_allowed=mp_ok
+    )
     linter.visit(tree)
     return linter.errors
 
